@@ -1,0 +1,479 @@
+//! An ARM64-flavoured architecture personality.
+//!
+//! The paper notes (§3) that "DVH is essentially a system design
+//! concept, which can be applied to and realized on different
+//! architectures with single-level virtualization hardware support",
+//! and that the authors "directly used DVH mechanisms such as
+//! virtual-passthrough on other architectures such as ARM", with ARM
+//! DVH-VP results omitted for space. This module supplies the ARM side
+//! of that story: the architectural structures whose x86 counterparts
+//! drive the simulator, with the correspondence made explicit:
+//!
+//! | x86 | ARM64 |
+//! |---|---|
+//! | VMCS | EL2 system-register context (no in-memory VMCS — and no VMCS-shadowing analogue before NEVE) |
+//! | `vmcall` | `hvc` |
+//! | `hlt` | `wfi` |
+//! | LAPIC TSC-deadline timer | generic timer (`CNTV_CVAL_EL0` / `CNTV_CTL_EL0`) |
+//! | ICR write (IPI) | `ICC_SGI1R_EL1` write (SGI) |
+//! | APICv posted interrupts | GICv4 direct vLPI injection |
+//! | EPT violation | stage-2 data abort |
+//!
+//! The exception-class encodings follow the ARMv8 ESR_EL2 EC field so
+//! the mapping onto the simulator's exit reasons is checkable.
+
+use crate::vmx::ExitReason;
+use std::fmt;
+
+/// ESR_EL2 exception classes relevant to virtualization (EC field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ExceptionClass {
+    /// Trapped WFI/WFE (EC=0b000001).
+    WfiWfe = 0x01,
+    /// HVC instruction from AArch64 (EC=0b010110).
+    Hvc64 = 0x16,
+    /// Trapped MSR/MRS system-register access (EC=0b011000).
+    SysReg = 0x18,
+    /// Instruction abort from a lower EL (EC=0b100000).
+    InstAbortLower = 0x20,
+    /// Data abort from a lower EL — stage-2 faults and MMIO
+    /// emulation (EC=0b100100).
+    DataAbortLower = 0x24,
+}
+
+impl ExceptionClass {
+    /// The raw EC field value.
+    pub fn ec(self) -> u8 {
+        self as u8
+    }
+
+    /// Maps the ARM exception class to the simulator's
+    /// architecture-neutral exit reason, preserving semantics:
+    /// MMIO-flavoured data aborts map to `EptMisconfig`, translation
+    /// faults to `EptViolation`.
+    pub fn to_exit_reason(self, is_mmio: bool) -> ExitReason {
+        match self {
+            ExceptionClass::WfiWfe => ExitReason::Hlt,
+            ExceptionClass::Hvc64 => ExitReason::Vmcall,
+            ExceptionClass::SysReg => ExitReason::MsrWrite,
+            ExceptionClass::InstAbortLower => ExitReason::EptViolation,
+            ExceptionClass::DataAbortLower => {
+                if is_mmio {
+                    ExitReason::EptMisconfig
+                } else {
+                    ExitReason::EptViolation
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExceptionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// System-register encodings (op0, op1, CRn, CRm, op2) for the
+/// registers the simulator traps, packed like an ISS would be.
+pub mod sysreg {
+    /// Packs an (op0, op1, CRn, CRm, op2) system-register encoding the
+    /// way ESR_EL2.ISS reports trapped MSR/MRS accesses.
+    pub const fn encode(op0: u32, op1: u32, crn: u32, crm: u32, op2: u32) -> u32 {
+        (op0 << 20) | (op1 << 14) | (crn << 10) | (crm << 1) | (op2 << 17)
+    }
+
+    /// Virtual timer compare value (op0=3, op1=3, CRn=14, CRm=3, op2=2).
+    pub const CNTV_CVAL_EL0: u32 = encode(3, 3, 14, 3, 2);
+    /// Virtual timer control (op0=3, op1=3, CRn=14, CRm=3, op2=1).
+    pub const CNTV_CTL_EL0: u32 = encode(3, 3, 14, 3, 1);
+    /// SGI generation register, the ARM "ICR" (op0=3, op1=0, CRn=12,
+    /// CRm=11, op2=5).
+    pub const ICC_SGI1R_EL1: u32 = encode(3, 0, 12, 11, 5);
+}
+
+/// A decoded `ICC_SGI1R_EL1` write: ARM's software-generated
+/// interrupt, the IPI of the GIC world.
+///
+/// The encoding follows the ARM GICv3 layout: the SGI INTID (0..15)
+/// in bits 27:24, the target list in bits 15:0, the affinity-1 cluster
+/// in bits 23:16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SgiValue {
+    /// SGI interrupt ID (0..=15).
+    pub intid: u8,
+    /// Target CPU within the cluster (bit per CPU, we model one
+    /// target).
+    pub target: u32,
+}
+
+impl SgiValue {
+    /// Creates an SGI of `intid` to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intid > 15` (architectural limit for SGIs).
+    pub fn new(intid: u8, target: u32) -> SgiValue {
+        assert!(intid <= 15, "SGI INTIDs are 0..=15");
+        SgiValue { intid, target }
+    }
+
+    /// Encodes to the ICC_SGI1R_EL1 layout.
+    pub fn encode(self) -> u64 {
+        ((self.intid as u64) << 24)
+            | (1u64 << (self.target % 16))
+            | ((self.target as u64 / 16) << 16)
+    }
+
+    /// Decodes from the ICC_SGI1R_EL1 layout.
+    pub fn decode(raw: u64) -> SgiValue {
+        let intid = ((raw >> 24) & 0xF) as u8;
+        let list = raw & 0xFFFF;
+        let cluster = ((raw >> 16) & 0xFF) as u32;
+        let first = list.trailing_zeros().min(15);
+        SgiValue {
+            intid,
+            target: cluster * 16 + first,
+        }
+    }
+}
+
+impl fmt::Display for SgiValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SGI{} -> cpu{}", self.intid, self.target)
+    }
+}
+
+/// The ARM generic (virtual) timer: `CNTV_CVAL_EL0` compare value plus
+/// the `CNTV_CTL_EL0` enable/mask bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GenericTimer {
+    /// Compare value (counter ticks).
+    pub cval: u64,
+    /// Control: bit 0 enable, bit 1 imask.
+    pub ctl: u64,
+}
+
+impl GenericTimer {
+    /// CTL enable bit.
+    pub const CTL_ENABLE: u64 = 1 << 0;
+    /// CTL interrupt-mask bit.
+    pub const CTL_IMASK: u64 = 1 << 1;
+
+    /// Arms the timer for `cval`.
+    pub fn arm(&mut self, cval: u64) {
+        self.cval = cval;
+        self.ctl = Self::CTL_ENABLE;
+    }
+
+    /// Disarms (disables) the timer.
+    pub fn disarm(&mut self) {
+        self.ctl &= !Self::CTL_ENABLE;
+    }
+
+    /// Whether the timer would assert its interrupt at counter `now`.
+    pub fn fires(&self, now: u64) -> bool {
+        self.ctl & Self::CTL_ENABLE != 0 && self.ctl & Self::CTL_IMASK == 0 && now >= self.cval
+    }
+}
+
+/// A GICv4 direct-injection descriptor: the ARM analogue of the x86
+/// posted-interrupt descriptor — a pending table plus a doorbell that
+/// lets devices (and, under DVH, the host hypervisor) make a vLPI
+/// pending in a running vCPU without any trap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VlpiPending {
+    /// Pending vLPI INTIDs (sparse; LPIs start at 8192).
+    pending: Vec<u32>,
+    /// Doorbell target physical CPU.
+    pub doorbell_cpu: u32,
+}
+
+impl VlpiPending {
+    /// Creates a table with the doorbell aimed at `cpu`.
+    pub fn new(cpu: u32) -> VlpiPending {
+        VlpiPending {
+            pending: Vec::new(),
+            doorbell_cpu: cpu,
+        }
+    }
+
+    /// Makes `intid` pending; returns whether the doorbell should ring
+    /// (first pending interrupt).
+    pub fn post(&mut self, intid: u32) -> bool {
+        let was_empty = self.pending.is_empty();
+        if !self.pending.contains(&intid) {
+            self.pending.push(intid);
+        }
+        was_empty
+    }
+
+    /// Drains pending vLPIs in posting order.
+    pub fn drain(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether anything is pending.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exception_classes_map_to_neutral_reasons() {
+        assert_eq!(
+            ExceptionClass::Hvc64.to_exit_reason(false),
+            ExitReason::Vmcall
+        );
+        assert_eq!(
+            ExceptionClass::WfiWfe.to_exit_reason(false),
+            ExitReason::Hlt
+        );
+        assert_eq!(
+            ExceptionClass::DataAbortLower.to_exit_reason(true),
+            ExitReason::EptMisconfig
+        );
+        assert_eq!(
+            ExceptionClass::DataAbortLower.to_exit_reason(false),
+            ExitReason::EptViolation
+        );
+        assert_eq!(
+            ExceptionClass::SysReg.to_exit_reason(false),
+            ExitReason::MsrWrite
+        );
+    }
+
+    #[test]
+    fn sgi_round_trip() {
+        for intid in [0u8, 7, 15] {
+            for target in [0u32, 3, 17] {
+                let sgi = SgiValue::new(intid, target);
+                assert_eq!(SgiValue::decode(sgi.encode()), sgi, "{sgi}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SGI INTIDs")]
+    fn sgi_intid_range_enforced() {
+        SgiValue::new(16, 0);
+    }
+
+    #[test]
+    fn generic_timer_semantics() {
+        let mut t = GenericTimer::default();
+        assert!(!t.fires(u64::MAX));
+        t.arm(1_000);
+        assert!(!t.fires(999));
+        assert!(t.fires(1_000));
+        t.ctl |= GenericTimer::CTL_IMASK;
+        assert!(!t.fires(2_000), "masked timers do not fire");
+        t.disarm();
+        t.ctl &= !GenericTimer::CTL_IMASK;
+        assert!(!t.fires(u64::MAX));
+    }
+
+    #[test]
+    fn vlpi_doorbell_rings_once() {
+        let mut v = VlpiPending::new(2);
+        assert!(v.post(8193));
+        assert!(!v.post(8194));
+        assert!(!v.post(8193), "duplicates don't re-ring");
+        assert_eq!(v.drain(), vec![8193, 8194]);
+        assert!(!v.has_pending());
+        assert!(v.post(8200), "doorbell re-arms after drain");
+    }
+
+    #[test]
+    fn exception_class_numbers_match_the_arm_arm() {
+        assert_eq!(ExceptionClass::WfiWfe.ec(), 0x01);
+        assert_eq!(ExceptionClass::Hvc64.ec(), 0x16);
+        assert_eq!(ExceptionClass::SysReg.ec(), 0x18);
+        assert_eq!(ExceptionClass::DataAbortLower.ec(), 0x24);
+    }
+}
+
+/// The GICv3 CPU-interface acceptance model: per-INTID priorities and
+/// group enables in the (re)distributor, the priority mask and running
+/// priority in the CPU interface — the ARM counterpart of
+/// [`crate::apic::LapicState`].
+///
+/// Like APICv on x86, hardware virtualization of the CPU interface
+/// (the GIC's list registers / vGIC) lets a guest acknowledge and EOI
+/// interrupts without trapping; what still traps on ARM is the
+/// *generation* side — SGIs via `ICC_SGI1R_EL1` — which is exactly
+/// where DVH's virtual IPIs help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GicCpuInterface {
+    /// Pending INTIDs with their priorities (lower value = higher
+    /// priority, per GIC convention).
+    pending: Vec<(u32, u8)>,
+    /// Active (acknowledged, not yet EOI'd) INTIDs, in ack order.
+    active: Vec<(u32, u8)>,
+    /// Priority mask (ICC_PMR): only priorities strictly below it are
+    /// signalled.
+    pub pmr: u8,
+    /// Group enable (ICC_IGRPEN1).
+    pub group_enabled: bool,
+}
+
+impl Default for GicCpuInterface {
+    fn default() -> GicCpuInterface {
+        GicCpuInterface {
+            pending: Vec::new(),
+            active: Vec::new(),
+            pmr: 0xFF, // reset: nothing masked
+            group_enabled: true,
+        }
+    }
+}
+
+impl GicCpuInterface {
+    /// Creates a reset-state CPU interface.
+    pub fn new() -> GicCpuInterface {
+        GicCpuInterface::default()
+    }
+
+    /// A (re)distributor forwards `intid` at `priority`.
+    pub fn pend(&mut self, intid: u32, priority: u8) {
+        if !self.pending.iter().any(|(i, _)| *i == intid) {
+            self.pending.push((intid, priority));
+        }
+    }
+
+    /// The highest-priority pending interrupt that may be signalled
+    /// (group enabled, priority below PMR and below the running
+    /// priority).
+    pub fn signalled(&self) -> Option<u32> {
+        if !self.group_enabled {
+            return None;
+        }
+        let running = self.active.iter().map(|(_, p)| *p).min().unwrap_or(0xFF);
+        self.pending
+            .iter()
+            .filter(|(_, p)| *p < self.pmr && *p < running)
+            .min_by_key(|(i, p)| (*p, *i))
+            .map(|(i, _)| *i)
+    }
+
+    /// `ICC_IAR1_EL1` read: acknowledge the signalled interrupt,
+    /// moving it pending → active. Returns 1023 (the spurious INTID)
+    /// when nothing is signallable.
+    pub fn acknowledge(&mut self) -> u32 {
+        match self.signalled() {
+            Some(intid) => {
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|(i, _)| *i == intid)
+                    .expect("signalled is pending");
+                let e = self.pending.remove(pos);
+                self.active.push(e);
+                intid
+            }
+            None => 1023,
+        }
+    }
+
+    /// `ICC_EOIR1_EL1` write: retire the most recent activation of
+    /// `intid`. Returns `false` for an INTID that is not active (a
+    /// software bug real hardware tolerates but flags).
+    pub fn eoi(&mut self, intid: u32) -> bool {
+        match self.active.iter().rposition(|(i, _)| *i == intid) {
+            Some(pos) => {
+                self.active.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether anything is pending (signallable or masked).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether any interrupt is active.
+    pub fn in_service(&self) -> bool {
+        !self.active.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod gic_tests {
+    use super::*;
+
+    #[test]
+    fn ack_eoi_cycle() {
+        let mut g = GicCpuInterface::new();
+        g.pend(32, 0x80);
+        assert_eq!(g.acknowledge(), 32);
+        assert!(g.in_service());
+        assert!(g.eoi(32));
+        assert!(!g.in_service());
+        assert_eq!(g.acknowledge(), 1023, "nothing left: spurious");
+    }
+
+    #[test]
+    fn lower_priority_value_wins() {
+        let mut g = GicCpuInterface::new();
+        g.pend(40, 0xA0);
+        g.pend(41, 0x20); // higher priority (lower value)
+        assert_eq!(g.acknowledge(), 41);
+        // 40 is blocked by the running priority until EOI.
+        assert_eq!(g.acknowledge(), 1023);
+        g.eoi(41);
+        assert_eq!(g.acknowledge(), 40);
+    }
+
+    #[test]
+    fn pmr_masks() {
+        let mut g = GicCpuInterface::new();
+        g.pmr = 0x40;
+        g.pend(50, 0x80);
+        assert_eq!(g.acknowledge(), 1023, "0x80 not below PMR 0x40");
+        g.pmr = 0xFF;
+        assert_eq!(g.acknowledge(), 50);
+    }
+
+    #[test]
+    fn group_disable_blocks_everything() {
+        let mut g = GicCpuInterface::new();
+        g.group_enabled = false;
+        g.pend(60, 0x10);
+        assert_eq!(g.acknowledge(), 1023);
+        assert!(g.has_pending());
+    }
+
+    #[test]
+    fn duplicate_pends_coalesce() {
+        let mut g = GicCpuInterface::new();
+        g.pend(70, 0x50);
+        g.pend(70, 0x50);
+        assert_eq!(g.acknowledge(), 70);
+        assert_eq!(g.acknowledge(), 1023);
+    }
+
+    #[test]
+    fn eoi_of_inactive_intid_is_flagged() {
+        let mut g = GicCpuInterface::new();
+        assert!(!g.eoi(99));
+    }
+
+    #[test]
+    fn nested_interrupts_retire_in_any_order() {
+        let mut g = GicCpuInterface::new();
+        g.pend(80, 0x80);
+        assert_eq!(g.acknowledge(), 80);
+        g.pend(81, 0x20);
+        assert_eq!(g.acknowledge(), 81); // preempts
+        assert!(g.eoi(80), "out-of-order EOI tolerated");
+        assert!(g.eoi(81));
+        assert!(!g.in_service());
+    }
+}

@@ -1,0 +1,115 @@
+//! Physical CPUs with per-CPU cycle clocks.
+
+use crate::cycles::Cycles;
+use crate::idle::IdleState;
+use std::fmt;
+
+/// Identifier of a physical CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(pub u32);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcpu{}", self.0)
+    }
+}
+
+/// A physical CPU: a cycle clock plus idle state.
+///
+/// Each CPU advances its own clock as software executes on it. When
+/// CPUs interact (an IPI, a posted-interrupt notification, a shared
+/// wake event) the receiving CPU's clock is synchronized to
+/// `max(receiver, sender_at_send_point)` before the receive cost is
+/// charged — the standard conservative treatment for causal chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysCpu {
+    id: CpuId,
+    now: Cycles,
+    idle: IdleState,
+}
+
+impl PhysCpu {
+    /// Creates CPU `id` at time zero, running.
+    pub fn new(id: CpuId) -> PhysCpu {
+        PhysCpu {
+            id,
+            now: Cycles::ZERO,
+            idle: IdleState::Running,
+        }
+    }
+
+    /// This CPU's identifier.
+    pub fn id(&self) -> CpuId {
+        self.id
+    }
+
+    /// The CPU's current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `d`, returning the new time.
+    pub fn advance(&mut self, d: Cycles) -> Cycles {
+        self.now += d;
+        self.now
+    }
+
+    /// Synchronizes this CPU's clock to at least `t` (models waiting
+    /// for a causally earlier event on another CPU).
+    pub fn sync_to(&mut self, t: Cycles) {
+        self.now = self.now.max(t);
+    }
+
+    /// Current idle state.
+    pub fn idle_state(&self) -> IdleState {
+        self.idle
+    }
+
+    /// Enters the given idle state.
+    pub fn set_idle_state(&mut self, s: IdleState) {
+        self.idle = s;
+    }
+
+    /// Whether the CPU is halted.
+    pub fn is_idle(&self) -> bool {
+        self.idle != IdleState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut cpu = PhysCpu::new(CpuId(0));
+        cpu.advance(Cycles::new(100));
+        cpu.advance(Cycles::new(50));
+        assert_eq!(cpu.now(), Cycles::new(150));
+    }
+
+    #[test]
+    fn sync_never_goes_backwards() {
+        let mut cpu = PhysCpu::new(CpuId(1));
+        cpu.advance(Cycles::new(500));
+        cpu.sync_to(Cycles::new(100));
+        assert_eq!(cpu.now(), Cycles::new(500));
+        cpu.sync_to(Cycles::new(900));
+        assert_eq!(cpu.now(), Cycles::new(900));
+    }
+
+    #[test]
+    fn idle_state_transitions() {
+        let mut cpu = PhysCpu::new(CpuId(2));
+        assert!(!cpu.is_idle());
+        cpu.set_idle_state(IdleState::HaltedC1);
+        assert!(cpu.is_idle());
+        cpu.set_idle_state(IdleState::Running);
+        assert!(!cpu.is_idle());
+    }
+
+    #[test]
+    fn display_of_cpu_id() {
+        assert_eq!(CpuId(3).to_string(), "pcpu3");
+    }
+}

@@ -1,0 +1,63 @@
+//! CPU idle states.
+//!
+//! The paper's virtual idle mechanism (§3.4) is entirely about *who*
+//! emulates the `hlt` instruction for a nested VM. The hardware side is
+//! simple: a halted CPU waits in a shallow C-state and pays a wake
+//! latency when an interrupt arrives.
+
+use std::fmt;
+
+/// Idle state of a physical CPU (or, by extension, a vCPU context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IdleState {
+    /// Executing instructions.
+    #[default]
+    Running,
+    /// Halted in C1 via `hlt`; wakes on any interrupt.
+    HaltedC1,
+    /// Polling instead of halting (the `idle=poll` alternative the
+    /// paper contrasts with virtual idle: wastes cycles but wakes
+    /// instantly).
+    Polling,
+}
+
+impl IdleState {
+    /// Whether a wake latency must be paid to resume execution.
+    pub fn pays_wake_latency(self) -> bool {
+        self == IdleState::HaltedC1
+    }
+
+    /// Whether the CPU consumes cycles while "idle".
+    pub fn burns_cycles(self) -> bool {
+        self == IdleState::Polling
+    }
+}
+
+impl fmt::Display for IdleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halt_pays_wake_latency() {
+        assert!(IdleState::HaltedC1.pays_wake_latency());
+        assert!(!IdleState::Polling.pays_wake_latency());
+        assert!(!IdleState::Running.pays_wake_latency());
+    }
+
+    #[test]
+    fn polling_burns_cycles() {
+        assert!(IdleState::Polling.burns_cycles());
+        assert!(!IdleState::HaltedC1.burns_cycles());
+    }
+
+    #[test]
+    fn default_is_running() {
+        assert_eq!(IdleState::default(), IdleState::Running);
+    }
+}

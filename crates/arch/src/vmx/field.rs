@@ -1,0 +1,199 @@
+//! VMCS field encodings.
+//!
+//! Encodings follow the Intel SDM numbering scheme so the hypervisor
+//! code reads like real KVM. The DVH fields use encodings from an
+//! architecturally unused range, as a real hardware extension would.
+
+// ---- 16-bit control fields ---------------------------------------------
+
+/// Posted-interrupt notification vector.
+pub const POSTED_INTR_NOTIFICATION_VECTOR: u32 = 0x0002;
+/// Virtual-processor identifier.
+pub const VPID: u32 = 0x0000;
+
+// ---- 16-bit guest-state fields ------------------------------------------
+
+/// Guest CS selector.
+pub const GUEST_CS_SELECTOR: u32 = 0x0802;
+
+// ---- 64-bit control fields ----------------------------------------------
+
+/// Address of the MSR bitmaps.
+pub const MSR_BITMAP_ADDR: u32 = 0x2004;
+/// TSC offset added to guest `rdtsc`.
+pub const TSC_OFFSET: u32 = 0x2010;
+/// Virtual-APIC page address (APICv).
+pub const VIRTUAL_APIC_PAGE_ADDR: u32 = 0x2012;
+/// Posted-interrupt descriptor address.
+pub const POSTED_INTR_DESC_ADDR: u32 = 0x2016;
+/// EPT pointer.
+pub const EPT_POINTER: u32 = 0x201A;
+/// VMCS link pointer (shadow VMCS).
+pub const VMCS_LINK_POINTER: u32 = 0x2800;
+/// Address of the vmread shadow bitmap.
+pub const VMREAD_BITMAP_ADDR: u32 = 0x2026;
+/// Address of the vmwrite shadow bitmap.
+pub const VMWRITE_BITMAP_ADDR: u32 = 0x2028;
+
+// ---- DVH 64-bit control fields (virtual hardware, §3.2–3.3) -------------
+
+/// DVH execution controls; bits in [`crate::vmx::ctrl::dvh`].
+pub const DVH_EXEC_CONTROLS: u32 = 0x2FF0;
+/// Virtual LAPIC timer deadline (TSC units, guest time base).
+pub const DVH_VTIMER_DEADLINE: u32 = 0x2FF2;
+/// Virtual LAPIC timer interrupt vector programmed by the nested VM.
+pub const DVH_VTIMER_VECTOR: u32 = 0x2FF4;
+/// Virtual CPU interrupt mapping table address register (VCIMTAR, §3.3).
+pub const DVH_VCIMTAR: u32 = 0x2FF6;
+
+// ---- 32-bit control fields ----------------------------------------------
+
+/// Pin-based VM-execution controls.
+pub const PIN_BASED_EXEC_CONTROLS: u32 = 0x4000;
+/// Primary processor-based VM-execution controls.
+pub const CPU_BASED_EXEC_CONTROLS: u32 = 0x4002;
+/// Exception bitmap.
+pub const EXCEPTION_BITMAP: u32 = 0x4004;
+/// VM-exit controls.
+pub const VM_EXIT_CONTROLS: u32 = 0x400C;
+/// VM-entry controls.
+pub const VM_ENTRY_CONTROLS: u32 = 0x4012;
+/// VM-entry interruption-information field (event injection).
+pub const VM_ENTRY_INTR_INFO: u32 = 0x4016;
+/// VM-entry instruction length.
+pub const VM_ENTRY_INSTRUCTION_LEN: u32 = 0x401A;
+/// Secondary processor-based VM-execution controls.
+pub const SECONDARY_EXEC_CONTROLS: u32 = 0x401E;
+/// VMX-preemption timer value.
+pub const PREEMPTION_TIMER_VALUE: u32 = 0x482E;
+
+// ---- 32-bit read-only data fields ----------------------------------------
+
+/// VM-instruction error.
+pub const VM_INSTRUCTION_ERROR: u32 = 0x4400;
+/// Exit reason.
+pub const VM_EXIT_REASON: u32 = 0x4402;
+/// VM-exit interruption information.
+pub const VM_EXIT_INTR_INFO: u32 = 0x4404;
+/// VM-exit interruption error code.
+pub const VM_EXIT_INTR_ERROR_CODE: u32 = 0x4406;
+/// IDT-vectoring information.
+pub const IDT_VECTORING_INFO: u32 = 0x4408;
+/// IDT-vectoring error code.
+pub const IDT_VECTORING_ERROR_CODE: u32 = 0x440A;
+/// VM-exit instruction length.
+pub const VM_EXIT_INSTRUCTION_LEN: u32 = 0x440C;
+/// VM-exit instruction information.
+pub const VM_EXIT_INSTRUCTION_INFO: u32 = 0x440E;
+
+// ---- 32-bit guest-state fields --------------------------------------------
+
+/// Guest interruptibility state.
+pub const GUEST_INTERRUPTIBILITY: u32 = 0x4824;
+/// Guest activity state (active/HLT/shutdown).
+pub const GUEST_ACTIVITY_STATE: u32 = 0x4826;
+
+// ---- natural-width read-only data fields -----------------------------------
+
+/// Exit qualification.
+pub const EXIT_QUALIFICATION: u32 = 0x6400;
+/// Guest linear address for the exit.
+pub const GUEST_LINEAR_ADDRESS: u32 = 0x640A;
+/// Guest physical address for EPT exits.
+pub const GUEST_PHYSICAL_ADDRESS: u32 = 0x2400;
+
+// ---- natural-width guest-state fields ---------------------------------------
+
+/// Guest RIP.
+pub const GUEST_RIP: u32 = 0x681E;
+/// Guest RSP.
+pub const GUEST_RSP: u32 = 0x681C;
+/// Guest RFLAGS.
+pub const GUEST_RFLAGS: u32 = 0x6820;
+/// Guest CR3.
+pub const GUEST_CR3: u32 = 0x6802;
+
+// ---- natural-width host-state fields -----------------------------------------
+
+/// Host RIP (where the hypervisor resumes on exit).
+pub const HOST_RIP: u32 = 0x6C16;
+
+/// The full list of fields KVM copies when merging vmcs12 into vmcs02
+/// on a nested VM entry (a representative subset; used for merge cost
+/// accounting and state copying).
+pub const VMCS12_MERGE_FIELDS: &[u32] = &[
+    PIN_BASED_EXEC_CONTROLS,
+    CPU_BASED_EXEC_CONTROLS,
+    SECONDARY_EXEC_CONTROLS,
+    EXCEPTION_BITMAP,
+    VM_EXIT_CONTROLS,
+    VM_ENTRY_CONTROLS,
+    VM_ENTRY_INTR_INFO,
+    VM_ENTRY_INSTRUCTION_LEN,
+    TSC_OFFSET,
+    EPT_POINTER,
+    MSR_BITMAP_ADDR,
+    VIRTUAL_APIC_PAGE_ADDR,
+    POSTED_INTR_DESC_ADDR,
+    POSTED_INTR_NOTIFICATION_VECTOR,
+    GUEST_RIP,
+    GUEST_RSP,
+    GUEST_RFLAGS,
+    GUEST_CR3,
+    GUEST_CS_SELECTOR,
+    GUEST_INTERRUPTIBILITY,
+    GUEST_ACTIVITY_STATE,
+    VPID,
+    DVH_EXEC_CONTROLS,
+    DVH_VTIMER_DEADLINE,
+    DVH_VTIMER_VECTOR,
+    DVH_VCIMTAR,
+];
+
+/// The subset of vmcs12 fields KVM actually flushes to vmcs02 on a
+/// typical nested entry once dirty-field tracking has settled (the
+/// full [`VMCS12_MERGE_FIELDS`] copy only happens on the first launch).
+pub const VMCS12_DIRTY_FIELDS: &[u32] = &[
+    GUEST_RIP,
+    GUEST_RSP,
+    GUEST_INTERRUPTIBILITY,
+    VM_ENTRY_INTR_INFO,
+    VM_ENTRY_INSTRUCTION_LEN,
+    CPU_BASED_EXEC_CONTROLS,
+    TSC_OFFSET,
+    EPT_POINTER,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn merge_fields_are_unique() {
+        let set: BTreeSet<u32> = VMCS12_MERGE_FIELDS.iter().copied().collect();
+        assert_eq!(set.len(), VMCS12_MERGE_FIELDS.len());
+    }
+
+    #[test]
+    fn dirty_fields_are_a_subset_of_merge_fields() {
+        for f in VMCS12_DIRTY_FIELDS {
+            assert!(VMCS12_MERGE_FIELDS.contains(f), "{f:#x} not in merge set");
+        }
+    }
+
+    #[test]
+    fn dvh_fields_do_not_collide_with_architectural_ones() {
+        for dvh in [
+            DVH_EXEC_CONTROLS,
+            DVH_VTIMER_DEADLINE,
+            DVH_VTIMER_VECTOR,
+            DVH_VCIMTAR,
+        ] {
+            assert!(
+                (0x2FF0..0x3000).contains(&dvh),
+                "DVH field {dvh:#x} outside reserved range"
+            );
+        }
+    }
+}

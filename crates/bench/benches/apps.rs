@@ -1,0 +1,85 @@
+//! Criterion benches over the Figure 7/8/9/10 application
+//! experiments: each bench runs one application's transaction loop on
+//! one configuration. The harness binaries print the paper-style
+//! overhead tables; these track simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvh_core::{Machine, MachineConfig};
+use dvh_workloads::{run_app, AppId};
+use std::hint::black_box;
+
+const TXNS: u32 = 50;
+
+fn bench_fig7_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/apache");
+    let mix = AppId::Apache.mix();
+    for (name, cfg) in [
+        ("vm", MachineConfig::baseline(1)),
+        ("nested", MachineConfig::baseline(2)),
+        ("nested_pt", MachineConfig::passthrough(2)),
+        ("dvh_vp", MachineConfig::dvh_vp(2)),
+        ("dvh", MachineConfig::dvh(2)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::build(cfg.clone());
+                black_box(run_app(&mut m, &mix, TXNS))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_all_apps_dvh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/all_apps_dvh");
+    for app in AppId::ALL {
+        let mix = app.mix();
+        g.bench_function(mix.name, |b| {
+            b.iter(|| {
+                let mut m = Machine::build(MachineConfig::dvh(2));
+                black_box(run_app(&mut m, &mix, TXNS))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_l3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9/memcached_l3");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("l3", MachineConfig::baseline(3)),
+        ("l3_dvh", MachineConfig::dvh(3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::build(cfg.clone());
+                black_box(run_app(&mut m, &AppId::Memcached.mix(), TXNS))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_xen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10/xen");
+    for (name, cfg) in [
+        ("nested_xen", MachineConfig::baseline(2).with_xen_guest()),
+        ("dvh_vp_xen", MachineConfig::dvh_vp(2).with_xen_guest()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Machine::build(cfg.clone());
+                black_box(run_app(&mut m, &AppId::Memcached.mix(), TXNS))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_fig7_configs, bench_all_apps_dvh, bench_fig9_l3, bench_fig10_xen
+}
+criterion_main!(benches);

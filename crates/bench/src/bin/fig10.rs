@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 10: see `dvh_bench::harness`.
+
+use dvh_bench::harness::{fig10, print_figure};
+
+fn main() {
+    print_figure(&fig10());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8: see `dvh_bench::harness`.
+
+use dvh_bench::harness::{fig8, print_figure};
+
+fn main() {
+    print_figure(&fig8());
+}

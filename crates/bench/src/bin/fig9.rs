@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 9: see `dvh_bench::harness`.
+
+use dvh_bench::harness::{fig9, print_figure};
+
+fn main() {
+    print_figure(&fig9());
+}

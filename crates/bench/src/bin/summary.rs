@@ -1,0 +1,56 @@
+//! One-shot regeneration of the paper's entire evaluation: Table 3,
+//! Figures 7–10, the migration experiment, and the recursion and
+//! ablation extensions — everything EXPERIMENTS.md records, in one
+//! run.
+
+use dvh_bench::harness;
+
+fn main() {
+    println!("DVH reproduction — full evaluation (deterministic)\n");
+
+    println!("Table 3: microbenchmarks (cycles; paper values in parentheses)");
+    let rows = harness::table3();
+    for (m, p) in rows.iter().zip(harness::TABLE3_PAPER.iter()) {
+        println!(
+            "  {:<18} hc {:>9} ({:>9})  dev {:>9} ({:>9})  timer {:>9} ({:>9})  ipi {:>7} ({:>7})",
+            m.config,
+            m.hypercall,
+            p.hypercall,
+            m.dev_notify,
+            p.dev_notify,
+            m.program_timer,
+            p.program_timer,
+            m.send_ipi,
+            p.send_ipi
+        );
+    }
+    println!();
+
+    for fig in [
+        harness::fig7(),
+        harness::fig8(),
+        harness::fig9(),
+        harness::fig10(),
+    ] {
+        harness::print_figure(&fig);
+        println!();
+    }
+
+    println!("Migration (268 Mb/s):");
+    let (rows, note) = harness::migration_experiment();
+    for r in &rows {
+        println!(
+            "  {:<40} {:.3} s total, {:.2} ms downtime, {} pages, verified={}",
+            r.scenario, r.total_secs, r.downtime_ms, r.pages, r.verified
+        );
+    }
+    println!("  {note}\n");
+
+    println!("Recursion (hypercall cycles by depth; DVH timer stays flat):");
+    for r in harness::recursion_experiment(5) {
+        println!(
+            "  L{}: hypercall {:>12}  timer {:>12}  timer+DVH {:>6}",
+            r.levels, r.hypercall, r.timer, r.timer_dvh
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 3: microbenchmark performance in CPU cycles for
+//! VM, nested VM, nested VM + DVH, L3 VM, and L3 VM + DVH.
+
+use dvh_bench::harness::{table3, Table3Row, TABLE3_PAPER};
+
+fn print_row(r: &Table3Row) {
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>10}",
+        r.config, r.hypercall, r.dev_notify, r.program_timer, r.send_ipi
+    );
+}
+
+fn main() {
+    println!("Table 3: Microbenchmark performance in CPU cycles");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>10}",
+        "config", "Hypercall", "DevNotify", "ProgramTimer", "SendIPI"
+    );
+    println!("--- measured (this simulator) ---");
+    let rows = table3();
+    for r in &rows {
+        print_row(r);
+    }
+    println!("--- paper (Lim & Nieh, ASPLOS 2020) ---");
+    for r in &TABLE3_PAPER {
+        print_row(r);
+    }
+    println!("--- measured / paper ---");
+    for (m, p) in rows.iter().zip(TABLE3_PAPER.iter()) {
+        println!(
+            "{:<18} {:>9.2}x {:>9.2}x {:>11.2}x {:>9.2}x",
+            m.config,
+            m.hypercall as f64 / p.hypercall as f64,
+            m.dev_notify as f64 / p.dev_notify as f64,
+            m.program_timer as f64 / p.program_timer as f64,
+            m.send_ipi as f64 / p.send_ipi as f64,
+        );
+    }
+}

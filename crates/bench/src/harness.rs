@@ -1,0 +1,397 @@
+//! Experiment definitions shared by the harness binaries and the
+//! Criterion benches.
+
+use dvh_core::{DvhFlags, Machine, MachineConfig};
+use dvh_migration::{migrate_nested_vm, MigrationConfig};
+use dvh_workloads::{run_app, run_micro, AppId};
+
+/// Transactions per application measurement (large enough for the
+/// fractional event accumulators to settle).
+pub const APP_TXNS: u32 = 400;
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Configuration label, as in the paper's column headers.
+    pub config: &'static str,
+    /// Microbenchmark costs in cycles.
+    pub hypercall: u64,
+    /// DevNotify cost.
+    pub dev_notify: u64,
+    /// ProgramTimer cost.
+    pub program_timer: u64,
+    /// SendIPI cost.
+    pub send_ipi: u64,
+}
+
+/// The paper's Table 3 values, for side-by-side printing.
+pub const TABLE3_PAPER: [Table3Row; 5] = [
+    Table3Row {
+        config: "VM",
+        hypercall: 1_575,
+        dev_notify: 4_984,
+        program_timer: 2_005,
+        send_ipi: 3_273,
+    },
+    Table3Row {
+        config: "nested VM",
+        hypercall: 37_733,
+        dev_notify: 48_390,
+        program_timer: 43_359,
+        send_ipi: 39_456,
+    },
+    Table3Row {
+        config: "nested VM + DVH",
+        hypercall: 38_743,
+        dev_notify: 13_815,
+        program_timer: 3_247,
+        send_ipi: 5_116,
+    },
+    Table3Row {
+        config: "L3 VM",
+        hypercall: 857_578,
+        dev_notify: 1_008_935,
+        program_timer: 1_033_946,
+        send_ipi: 787_971,
+    },
+    Table3Row {
+        config: "L3 VM + DVH",
+        hypercall: 929_724,
+        dev_notify: 15_150,
+        program_timer: 3_304,
+        send_ipi: 5_228,
+    },
+];
+
+/// Runs Table 3: the four microbenchmarks in the five configurations.
+pub fn table3() -> Vec<Table3Row> {
+    let configs: [(&'static str, MachineConfig); 5] = [
+        ("VM", MachineConfig::baseline(1)),
+        ("nested VM", MachineConfig::baseline(2)),
+        ("nested VM + DVH", MachineConfig::dvh(2)),
+        ("L3 VM", MachineConfig::baseline(3)),
+        ("L3 VM + DVH", MachineConfig::dvh(3)),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, cfg)| {
+            let mut m = Machine::build(cfg);
+            let r = run_micro(&mut m, 5);
+            Table3Row {
+                config: name,
+                hypercall: r.hypercall,
+                dev_notify: r.dev_notify,
+                program_timer: r.program_timer,
+                send_ipi: r.send_ipi,
+            }
+        })
+        .collect()
+}
+
+/// A figure row: one application's overhead in each configuration.
+#[derive(Debug, Clone)]
+pub struct FigRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Overheads, one per configuration column.
+    pub overheads: Vec<f64>,
+}
+
+/// A complete figure: column headers plus rows.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure label.
+    pub title: &'static str,
+    /// Configuration column headers.
+    pub columns: Vec<&'static str>,
+    /// One row per application.
+    pub rows: Vec<FigRow>,
+}
+
+fn run_figure(title: &'static str, configs: Vec<(&'static str, MachineConfig)>) -> Figure {
+    let columns = configs.iter().map(|(n, _)| *n).collect();
+    let rows = AppId::ALL
+        .iter()
+        .map(|app| {
+            let mix = app.mix();
+            let overheads = configs
+                .iter()
+                .map(|(_, cfg)| {
+                    let mut m = Machine::build(cfg.clone());
+                    run_app(&mut m, &mix, APP_TXNS).overhead
+                })
+                .collect();
+            FigRow {
+                app: mix.name,
+                overheads,
+            }
+        })
+        .collect();
+    Figure {
+        title,
+        columns,
+        rows,
+    }
+}
+
+/// Fig. 7: application performance at two virtualization levels,
+/// six configurations.
+pub fn fig7() -> Figure {
+    run_figure(
+        "Figure 7: Application performance (overhead vs native)",
+        vec![
+            ("VM", MachineConfig::baseline(1)),
+            ("VM+PT", MachineConfig::passthrough(1)),
+            ("Nested", MachineConfig::baseline(2)),
+            ("Nested+PT", MachineConfig::passthrough(2)),
+            ("DVH-VP", MachineConfig::dvh_vp(2)),
+            ("DVH", MachineConfig::dvh(2)),
+        ],
+    )
+}
+
+/// Fig. 8: the incremental DVH technique breakdown.
+pub fn fig8() -> Figure {
+    let pi = DvhFlags {
+        viommu_posted_interrupts: true,
+        ..DvhFlags::NONE
+    };
+    let pi_ipi = DvhFlags {
+        virtual_ipis: true,
+        ..pi
+    };
+    let pi_ipi_t = DvhFlags {
+        virtual_timers: true,
+        ..pi_ipi
+    };
+    run_figure(
+        "Figure 8: Application performance breakdown (incremental DVH)",
+        vec![
+            ("Nested", MachineConfig::baseline(2)),
+            ("DVH-VP", MachineConfig::dvh_vp(2)),
+            ("+PI", MachineConfig::dvh_partial(2, pi)),
+            ("+vIPI", MachineConfig::dvh_partial(2, pi_ipi)),
+            ("+vtimer", MachineConfig::dvh_partial(2, pi_ipi_t)),
+            ("+vidle", MachineConfig::dvh(2)),
+        ],
+    )
+}
+
+/// Fig. 9: application performance with three levels of
+/// virtualization.
+pub fn fig9() -> Figure {
+    run_figure(
+        "Figure 9: Application performance in L3 VM (overhead vs native)",
+        vec![
+            ("VM", MachineConfig::baseline(1)),
+            ("VM+PT", MachineConfig::passthrough(1)),
+            ("L3", MachineConfig::baseline(3)),
+            ("L3+PT", MachineConfig::passthrough(3)),
+            ("L3+DVH-VP", MachineConfig::dvh_vp(3)),
+            ("L3+DVH", MachineConfig::dvh(3)),
+        ],
+    )
+}
+
+/// Fig. 10: the Xen guest hypervisor on a KVM host (DVH-VP only — Xen
+/// is DVH-unaware, but virtual-passthrough needs no guest hypervisor
+/// modifications).
+pub fn fig10() -> Figure {
+    run_figure(
+        "Figure 10: Application performance, Xen guest hypervisor on KVM",
+        vec![
+            ("VM", MachineConfig::baseline(1)),
+            ("VM+PT", MachineConfig::passthrough(1)),
+            ("Nested(Xen)", MachineConfig::baseline(2).with_xen_guest()),
+            ("Nested+PT", MachineConfig::passthrough(2).with_xen_guest()),
+            ("DVH-VP", MachineConfig::dvh_vp(2).with_xen_guest()),
+        ],
+    )
+}
+
+/// One migration experiment result.
+#[derive(Debug, Clone)]
+pub struct MigrationRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Total migration time in seconds.
+    pub total_secs: f64,
+    /// Downtime in milliseconds.
+    pub downtime_ms: f64,
+    /// Pages transferred.
+    pub pages: u64,
+    /// Whether the destination verified identical.
+    pub verified: bool,
+}
+
+/// The §4 migration experiment: nested-VM migration under paravirtual
+/// I/O vs DVH, and the L1-VM-with-guest-hypervisor case. Passthrough
+/// is reported as unmigratable.
+pub fn migration_experiment() -> (Vec<MigrationRow>, &'static str) {
+    let dirty_pages = 64u64;
+    let scenarios: [(&'static str, MachineConfig, bool); 3] = [
+        (
+            "nested VM, paravirtual I/O",
+            MachineConfig::baseline(2),
+            false,
+        ),
+        ("nested VM, DVH", MachineConfig::dvh(2), false),
+        (
+            "nested VM + guest hypervisor, DVH",
+            MachineConfig::dvh(2),
+            true,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg, include_hv) in scenarios {
+        let mut m = Machine::build(cfg);
+        // Give the VM a working set.
+        for i in 0..dirty_pages {
+            m.world_mut().guest_write_memory(
+                0,
+                dvh_memory::Gpa::from_pfn(dvh_hypervisor::world::LEAF_BUF_BASE_PFN + (i % 60)),
+                &[i as u8; 256],
+            );
+        }
+        let mut rounds_left = 3;
+        let report = migrate_nested_vm(
+            m.world_mut(),
+            MigrationConfig {
+                include_guest_hypervisor: include_hv,
+                ..MigrationConfig::default()
+            },
+            |w| {
+                if rounds_left > 0 {
+                    rounds_left -= 1;
+                    for i in 0..12u64 {
+                        w.guest_write_memory(
+                            0,
+                            dvh_memory::Gpa::from_pfn(dvh_hypervisor::world::LEAF_BUF_BASE_PFN + i),
+                            &[0x5A; 128],
+                        );
+                    }
+                }
+            },
+        )
+        .expect("migratable configuration");
+        rows.push(MigrationRow {
+            scenario: name,
+            total_secs: report.total_time.as_secs_f64(),
+            downtime_ms: report.downtime.as_secs_f64() * 1e3,
+            pages: report.total_pages,
+            verified: report.verified,
+        });
+    }
+    // And the negative result.
+    let mut pt = Machine::build(MachineConfig::passthrough(2));
+    let err = migrate_nested_vm(pt.world_mut(), MigrationConfig::default(), |_| {})
+        .expect_err("passthrough must refuse");
+    debug_assert_eq!(err, dvh_migration::MigrationError::PassthroughNotMigratable);
+    (
+        rows,
+        "nested VM, passthrough: migration not possible (no I/O interposition)",
+    )
+}
+
+/// One recursion-depth measurement.
+#[derive(Debug, Clone)]
+pub struct RecursionRow {
+    /// Virtualization depth (1 = plain VM).
+    pub levels: usize,
+    /// Vanilla hypercall cost (cycles).
+    pub hypercall: u64,
+    /// Vanilla ProgramTimer cost.
+    pub timer: u64,
+    /// ProgramTimer with recursive DVH.
+    pub timer_dvh: u64,
+}
+
+/// The §3.5 extension experiment: exit multiplication keeps compounding
+/// beyond L3 (where real KVM stops), while recursive DVH stays flat at
+/// any depth.
+pub fn recursion_experiment(max_levels: usize) -> Vec<RecursionRow> {
+    (1..=max_levels)
+        .map(|levels| {
+            let mut base = Machine::build(MachineConfig::baseline(levels));
+            let hypercall = base.hypercall(0).as_u64();
+            let timer = base.program_timer(0).as_u64();
+            let mut dvh = Machine::build(MachineConfig::dvh(levels));
+            let timer_dvh = dvh.program_timer(0).as_u64();
+            RecursionRow {
+                levels,
+                hypercall,
+                timer,
+                timer_dvh,
+            }
+        })
+        .collect()
+}
+
+/// Prints a figure as an aligned text table.
+pub fn print_figure(fig: &Figure) {
+    println!("{}", fig.title);
+    print!("{:<16}", "app");
+    for c in &fig.columns {
+        print!(" {c:>11}");
+    }
+    println!();
+    for row in &fig.rows {
+        print!("{:<16}", row.app);
+        for o in &row.overheads {
+            print!(" {o:>10.2}x");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_holds() {
+        let rows = table3();
+        assert_eq!(rows.len(), 5);
+        let vm = &rows[0];
+        let nested = &rows[1];
+        let dvh = &rows[2];
+        assert!(nested.hypercall > 20 * vm.hypercall);
+        assert!(dvh.program_timer < nested.program_timer / 10);
+        assert!(dvh.send_ipi < nested.send_ipi / 5);
+        assert!(dvh.hypercall >= nested.hypercall);
+    }
+
+    #[test]
+    fn recursion_grows_then_dvh_flattens() {
+        let rows = recursion_experiment(4);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].hypercall > 10 * pair[0].hypercall,
+                "L{}={} vs L{}={}",
+                pair[1].levels,
+                pair[1].hypercall,
+                pair[0].levels,
+                pair[0].hypercall
+            );
+        }
+        // DVH timer flat from L2 on.
+        let t2 = rows[1].timer_dvh;
+        for r in &rows[2..] {
+            assert!(r.timer_dvh.abs_diff(t2) * 10 <= t2);
+        }
+    }
+
+    #[test]
+    fn migration_rows_verify() {
+        let (rows, note) = migration_experiment();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.verified));
+        assert!(note.contains("not possible"));
+        // DVH vs paravirtual roughly equal; +hv roughly double.
+        let pv = rows[0].total_secs;
+        let dvh = rows[1].total_secs;
+        let both = rows[2].total_secs;
+        assert!((dvh / pv) < 1.3 && (pv / dvh) < 1.3);
+        assert!(both / dvh > 1.5);
+    }
+}

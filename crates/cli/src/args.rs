@@ -1,0 +1,385 @@
+//! Argument parsing for the `dvh` binary (dependency-free, artifact
+//! style: small fixed vocabulary).
+
+use dvh_core::MachineConfig;
+use dvh_workloads::AppId;
+use std::fmt;
+
+/// The VM configuration vocabulary of the paper's artifact
+/// (`run-vm.py`'s second option): `base`, `passthrough`, `dvh-vp`,
+/// `dvh`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliConfig {
+    /// Paravirtual I/O ("base" in the artifact).
+    Base,
+    /// Physical device passthrough.
+    Passthrough,
+    /// DVH virtual-passthrough only.
+    DvhVp,
+    /// Full DVH.
+    Dvh,
+}
+
+impl CliConfig {
+    /// Parses the artifact vocabulary.
+    pub fn parse(s: &str) -> Result<CliConfig, ParseError> {
+        match s {
+            "base" => Ok(CliConfig::Base),
+            "passthrough" | "pt" => Ok(CliConfig::Passthrough),
+            "dvh-vp" => Ok(CliConfig::DvhVp),
+            "dvh" => Ok(CliConfig::Dvh),
+            other => Err(ParseError(format!(
+                "unknown config '{other}' (expected base|passthrough|dvh-vp|dvh)"
+            ))),
+        }
+    }
+
+    /// Builds the machine configuration at `level`.
+    pub fn machine_config(self, level: usize) -> MachineConfig {
+        match self {
+            CliConfig::Base => MachineConfig::baseline(level),
+            CliConfig::Passthrough => MachineConfig::passthrough(level),
+            CliConfig::DvhVp => MachineConfig::dvh_vp(level),
+            CliConfig::Dvh => MachineConfig::dvh(level),
+        }
+    }
+}
+
+impl fmt::Display for CliConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CliConfig::Base => "base",
+            CliConfig::Passthrough => "passthrough",
+            CliConfig::DvhVp => "dvh-vp",
+            CliConfig::Dvh => "dvh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the Table 1 microbenchmarks.
+    Micro {
+        /// Virtualization level (1..).
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+        /// Iterations to average.
+        iters: u32,
+        /// Emit CSV instead of a table.
+        csv: bool,
+    },
+    /// Run one application benchmark.
+    App {
+        /// Which application.
+        app: AppId,
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+        /// Independent runs (artifact style: take the best average).
+        runs: u32,
+        /// Transactions per run.
+        txns: u32,
+        /// Emit CSV.
+        csv: bool,
+    },
+    /// Run all seven application benchmarks.
+    Apps {
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+        /// Transactions per benchmark.
+        txns: u32,
+        /// Emit CSV.
+        csv: bool,
+    },
+    /// Run the migration experiment.
+    Migrate {
+        /// VM configuration.
+        config: CliConfig,
+        /// Migrate the guest hypervisor along with the nested VM.
+        with_hypervisor: bool,
+    },
+    /// Aggregate CSV result files (like the artifact's `results.py`).
+    Results {
+        /// Files to aggregate.
+        files: Vec<String>,
+    },
+    /// Explain where one operation's cycles go (cost attribution).
+    Explain {
+        /// Operation: hypercall|timer|ipi|devnotify.
+        op: String,
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+    },
+    /// Regenerate a paper figure as CSV (7, 8, 9, or 10).
+    Sweep {
+        /// Figure number.
+        figure: u32,
+    },
+    /// Dump the full event trace of one operation.
+    Trace {
+        /// Operation: hypercall|timer|ipi|devnotify.
+        op: String,
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A command-line parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_app(s: &str) -> Result<AppId, ParseError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "netperf-rr" | "rr" => AppId::NetperfRr,
+        "netperf-stream" | "stream" => AppId::NetperfStream,
+        "netperf-maerts" | "maerts" => AppId::NetperfMaerts,
+        "apache" => AppId::Apache,
+        "memcached" => AppId::Memcached,
+        "mysql" => AppId::Mysql,
+        "hackbench" => AppId::Hackbench,
+        other => {
+            return Err(ParseError(format!(
+                "unknown app '{other}' (expected rr|stream|maerts|apache|memcached|mysql|hackbench)"
+            )))
+        }
+    })
+}
+
+struct Opts<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn value_of(&self, flag: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    fn usize_of(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("{flag} expects a number, got '{v}'"))),
+        }
+    }
+
+    fn u32_of(&self, flag: &str, default: u32) -> Result<u32, ParseError> {
+        Ok(self.usize_of(flag, default as usize)? as u32)
+    }
+
+    fn config(&self) -> Result<CliConfig, ParseError> {
+        match self.value_of("--config") {
+            None => Ok(CliConfig::Base),
+            Some(v) => CliConfig::parse(v),
+        }
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown subcommands, flags, or values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let opts = Opts { rest: &args[1..] };
+    match cmd.as_str() {
+        "micro" => Ok(Command::Micro {
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+            iters: opts.u32_of("--iters", 10)?,
+            csv: opts.has("--csv"),
+        }),
+        "app" => {
+            let name = opts
+                .value_of("--name")
+                .ok_or_else(|| ParseError("app requires --name <benchmark>".into()))?;
+            Ok(Command::App {
+                app: parse_app(name)?,
+                level: opts.usize_of("--level", 2)?,
+                config: opts.config()?,
+                runs: opts.u32_of("--runs", 3)?,
+                txns: opts.u32_of("--txns", 400)?,
+                csv: opts.has("--csv"),
+            })
+        }
+        "apps" => Ok(Command::Apps {
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+            txns: opts.u32_of("--txns", 400)?,
+            csv: opts.has("--csv"),
+        }),
+        "migrate" => Ok(Command::Migrate {
+            config: opts.config()?,
+            with_hypervisor: opts.has("--with-hypervisor"),
+        }),
+        "results" => Ok(Command::Results {
+            files: args[1..].to_vec(),
+        }),
+        "trace" => Ok(Command::Trace {
+            op: opts.value_of("--op").unwrap_or("timer").to_string(),
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+        }),
+        "explain" => Ok(Command::Explain {
+            op: opts.value_of("--op").unwrap_or("timer").to_string(),
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+        }),
+        "sweep" => {
+            let figure = opts.u32_of("--figure", 7)?;
+            if ![7, 8, 9, 10].contains(&figure) {
+                return Err(ParseError(format!(
+                    "no figure {figure} (expected 7|8|9|10)"
+                )));
+            }
+            Ok(Command::Sweep { figure })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+dvh — DVH nested-virtualization simulator (ASPLOS 2020 reproduction)
+
+USAGE:
+  dvh micro   [--level N] [--config base|passthrough|dvh-vp|dvh] [--iters N] [--csv]
+  dvh app     --name rr|stream|maerts|apache|memcached|mysql|hackbench
+              [--level N] [--config ...] [--runs N] [--txns N] [--csv]
+  dvh apps    [--level N] [--config ...] [--txns N] [--csv]
+  dvh migrate [--config ...] [--with-hypervisor]
+  dvh results <file.csv> ...
+  dvh explain [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
+  dvh sweep   [--figure 7|8|9|10]
+  dvh trace   [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
+  dvh help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_micro_defaults() {
+        let c = parse(&v(&["micro"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Micro {
+                level: 2,
+                config: CliConfig::Base,
+                iters: 10,
+                csv: false
+            }
+        );
+    }
+
+    #[test]
+    fn parse_app_with_flags() {
+        let c = parse(&v(&[
+            "app", "--name", "apache", "--level", "3", "--config", "dvh-vp", "--runs", "5", "--csv",
+        ]))
+        .unwrap();
+        match c {
+            Command::App {
+                app,
+                level,
+                config,
+                runs,
+                csv,
+                ..
+            } => {
+                assert_eq!(app, dvh_workloads::AppId::Apache);
+                assert_eq!(level, 3);
+                assert_eq!(config, CliConfig::DvhVp);
+                assert_eq!(runs, 5);
+                assert!(csv);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn app_requires_name() {
+        assert!(parse(&v(&["app"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        assert!(parse(&v(&["micro", "--level", "two"])).is_err());
+    }
+
+    #[test]
+    fn config_vocabulary_round_trips() {
+        for c in [
+            CliConfig::Base,
+            CliConfig::Passthrough,
+            CliConfig::DvhVp,
+            CliConfig::Dvh,
+        ] {
+            assert_eq!(CliConfig::parse(&c.to_string()).unwrap(), c);
+        }
+        assert!(CliConfig::parse("vmx").is_err());
+    }
+
+    #[test]
+    fn all_app_aliases_parse() {
+        for name in [
+            "rr",
+            "stream",
+            "maerts",
+            "apache",
+            "memcached",
+            "mysql",
+            "hackbench",
+            "netperf-rr",
+        ] {
+            assert!(parse_app(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,367 @@
+//! Command implementations for the `dvh` binary.
+
+use crate::args::Command;
+use crate::results::{to_csv, ResultFile};
+use dvh_core::Machine;
+use dvh_migration::{migrate_nested_vm, MigrationConfig};
+use dvh_workloads::{run_app, run_micro, AppId};
+
+/// Executes a parsed command, writing human or CSV output to `out`.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures or unusable inputs (e.g. a
+/// non-migratable configuration).
+pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let w = |out: &mut dyn std::io::Write, s: String| {
+        out.write_all(s.as_bytes()).map_err(|e| e.to_string())
+    };
+    match cmd {
+        Command::Help => w(out, crate::args::USAGE.to_string()),
+        Command::Micro {
+            level,
+            config,
+            iters,
+            csv,
+        } => {
+            let mut m = Machine::build(config.machine_config(level));
+            let r = run_micro(&mut m, iters);
+            if csv {
+                w(
+                    out,
+                    format!(
+                        "benchmark,level,config,cycles\nhypercall,{level},{config},{}\n\
+                         devnotify,{level},{config},{}\nprogramtimer,{level},{config},{}\n\
+                         sendipi,{level},{config},{}\n",
+                        r.hypercall, r.dev_notify, r.program_timer, r.send_ipi
+                    ),
+                )
+            } else {
+                w(
+                    out,
+                    format!(
+                        "L{level} {config} microbenchmarks (cycles):\n\
+                          Hypercall:    {:>9}\n  DevNotify:    {:>9}\n\
+                          ProgramTimer: {:>9}\n  SendIPI:      {:>9}\n",
+                        r.hypercall, r.dev_notify, r.program_timer, r.send_ipi
+                    ),
+                )
+            }
+        }
+        Command::App {
+            app,
+            level,
+            config,
+            runs,
+            txns,
+            csv,
+        } => {
+            let mix = app.mix();
+            // Artifact style: several independent runs, each a column.
+            let samples: Vec<Vec<f64>> = (0..3)
+                .map(|chunk| {
+                    (0..runs)
+                        .map(|_| {
+                            let mut m = Machine::build(config.machine_config(level));
+                            // Different chunks use different txn counts
+                            // so per-run variation is visible (the
+                            // simulator itself is deterministic).
+                            run_app(&mut m, &mix, txns + chunk * 16).overhead
+                        })
+                        .collect()
+                })
+                .collect();
+            if csv {
+                w(out, to_csv(mix.name, &samples))
+            } else {
+                let flat = samples[0][0];
+                w(
+                    out,
+                    format!(
+                        "{} at L{level} ({config}): overhead {:.2}x vs native ({})\n",
+                        mix.name,
+                        flat,
+                        app.native_baseline()
+                    ),
+                )
+            }
+        }
+        Command::Apps {
+            level,
+            config,
+            txns,
+            csv,
+        } => {
+            if csv {
+                w(out, "app,level,config,overhead\n".to_string())?;
+            }
+            for app in AppId::ALL {
+                let mix = app.mix();
+                let mut m = Machine::build(config.machine_config(level));
+                let r = run_app(&mut m, &mix, txns);
+                if csv {
+                    w(
+                        out,
+                        format!("{},{level},{config},{:.4}\n", mix.name, r.overhead),
+                    )?;
+                } else {
+                    w(out, format!("{:<16} {:>6.2}x\n", mix.name, r.overhead))?;
+                }
+            }
+            Ok(())
+        }
+        Command::Migrate {
+            config,
+            with_hypervisor,
+        } => {
+            let mut m = Machine::build(config.machine_config(2));
+            for i in 0..32u64 {
+                m.world_mut().guest_write_memory(
+                    0,
+                    dvh_memory::Gpa::from_pfn(dvh_hypervisor::world::LEAF_BUF_BASE_PFN + i % 60),
+                    &[i as u8; 128],
+                );
+            }
+            let cfg = MigrationConfig {
+                include_guest_hypervisor: with_hypervisor,
+                ..MigrationConfig::default()
+            };
+            match migrate_nested_vm(m.world_mut(), cfg, |_| {}) {
+                Ok(r) => w(
+                    out,
+                    format!(
+                        "migrated: {} pages in {:.3} s, downtime {:.2} ms, verified: {}\n",
+                        r.total_pages,
+                        r.total_time.as_secs_f64(),
+                        r.downtime.as_secs_f64() * 1e3,
+                        r.verified
+                    ),
+                ),
+                Err(e) => Err(format!("migration failed: {e}")),
+            }
+        }
+        Command::Trace { op, level, config } => {
+            let mut m = Machine::build(config.machine_config(level));
+            m.world_mut().enable_tracing(1 << 16);
+            run_named_op(&mut m, &op)?;
+            for e in m.world_mut().take_trace() {
+                w(
+                    out,
+                    format!(
+                        "{e}
+"
+                    ),
+                )?;
+            }
+            Ok(())
+        }
+        Command::Explain { op, level, config } => {
+            let mut m = Machine::build(config.machine_config(level));
+            let cost = run_named_op(&mut m, &op)?;
+            w(
+                out,
+                format!(
+                    "{op} at L{level} ({config}): {cost}
+{}",
+                    dvh_core::analysis::explain(m.world())
+                ),
+            )
+        }
+        Command::Sweep { figure } => {
+            let fig = match figure {
+                7 => dvh_bench::harness::fig7(),
+                8 => dvh_bench::harness::fig8(),
+                9 => dvh_bench::harness::fig9(),
+                10 => dvh_bench::harness::fig10(),
+                _ => unreachable!("validated at parse time"),
+            };
+            w(
+                out,
+                format!(
+                    "app,{}
+",
+                    fig.columns.join(",")
+                ),
+            )?;
+            for row in &fig.rows {
+                let cells: Vec<String> = row.overheads.iter().map(|o| format!("{o:.4}")).collect();
+                w(
+                    out,
+                    format!(
+                        "{},{}
+",
+                        row.app,
+                        cells.join(",")
+                    ),
+                )?;
+            }
+            Ok(())
+        }
+        Command::Results { files } => {
+            if files.is_empty() {
+                return Err("results requires at least one file".into());
+            }
+            for path in files {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let r = ResultFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                let avgs: Vec<String> =
+                    r.run_averages().iter().map(|a| format!("{a:.2}")).collect();
+                w(
+                    out,
+                    format!(
+                        "{}: {} runs, per-run averages [{}], best(max) {:.2}, best(min) {:.2}\n",
+                        r.name,
+                        r.runs(),
+                        avgs.join(", "),
+                        r.best(true),
+                        r.best(false)
+                    ),
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn run_named_op(m: &mut Machine, op: &str) -> Result<dvh_core::Cycles, String> {
+    Ok(match op {
+        "hypercall" => m.hypercall(0),
+        "timer" => m.program_timer(0),
+        "ipi" => m.send_ipi(0, 1),
+        "devnotify" => m.device_notify(0),
+        other => return Err(format!("unknown op '{other}'")),
+    })
+}
+
+/// Convenience used by tests: execute and capture output.
+pub fn execute_to_string(cmd: Command) -> Result<String, String> {
+    let mut buf = Vec::new();
+    execute(cmd, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::CliConfig;
+
+    #[test]
+    fn micro_command_produces_table() {
+        let out = execute_to_string(Command::Micro {
+            level: 1,
+            config: CliConfig::Base,
+            iters: 2,
+            csv: false,
+        })
+        .unwrap();
+        assert!(out.contains("Hypercall"));
+        assert!(out.contains("L1 base"));
+    }
+
+    #[test]
+    fn micro_csv_has_four_rows() {
+        let out = execute_to_string(Command::Micro {
+            level: 2,
+            config: CliConfig::Dvh,
+            iters: 1,
+            csv: true,
+        })
+        .unwrap();
+        assert_eq!(out.lines().count(), 5); // header + 4 benchmarks
+        assert!(out.contains("programtimer,2,dvh,"));
+    }
+
+    #[test]
+    fn app_csv_round_trips_through_results_parser() {
+        let out = execute_to_string(Command::App {
+            app: AppId::Hackbench,
+            level: 2,
+            config: CliConfig::Base,
+            runs: 2,
+            txns: 40,
+            csv: true,
+        })
+        .unwrap();
+        let parsed = ResultFile::parse(&out).unwrap();
+        assert_eq!(parsed.name, "Hackbench");
+        assert_eq!(parsed.runs(), 2);
+        assert!(parsed.best(false) >= 1.0);
+    }
+
+    #[test]
+    fn apps_lists_all_seven() {
+        let out = execute_to_string(Command::Apps {
+            level: 1,
+            config: CliConfig::Base,
+            txns: 40,
+            csv: false,
+        })
+        .unwrap();
+        assert_eq!(out.lines().count(), 7);
+    }
+
+    #[test]
+    fn migrate_passthrough_fails_cleanly() {
+        let err = execute_to_string(Command::Migrate {
+            config: CliConfig::Passthrough,
+            with_hypervisor: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("passthrough"));
+    }
+
+    #[test]
+    fn migrate_dvh_succeeds() {
+        let out = execute_to_string(Command::Migrate {
+            config: CliConfig::Dvh,
+            with_hypervisor: false,
+        })
+        .unwrap();
+        assert!(out.contains("verified: true"));
+    }
+
+    #[test]
+    fn results_requires_files() {
+        assert!(execute_to_string(Command::Results { files: vec![] }).is_err());
+    }
+
+    #[test]
+    fn explain_shows_attribution() {
+        let out = execute_to_string(Command::Explain {
+            op: "timer".into(),
+            level: 2,
+            config: CliConfig::Base,
+        })
+        .unwrap();
+        assert!(out.contains("interventions"));
+        assert!(out.contains("MsrWrite"));
+    }
+
+    #[test]
+    fn trace_lists_events() {
+        let out = execute_to_string(Command::Trace {
+            op: "timer".into(),
+            level: 2,
+            config: CliConfig::Base,
+        })
+        .unwrap();
+        assert!(out.lines().count() > 10);
+        assert!(out.contains("exit L2 MsrWrite"));
+    }
+
+    #[test]
+    fn explain_rejects_unknown_op() {
+        assert!(execute_to_string(Command::Explain {
+            op: "frob".into(),
+            level: 2,
+            config: CliConfig::Base,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute_to_string(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The MSI-X table: per-vector message programming and masking.
+//!
+//! System software programs one table entry per interrupt source
+//! (address/data encode the destination and vector); masking an entry
+//! defers delivery — the device latches a pending bit and the message
+//! fires on unmask. Guest hypervisors doing passthrough (virtual or
+//! physical) program these entries through the device's BAR; the
+//! (v)IOMMU's interrupt remapping then decides where the message
+//! really lands.
+
+use crate::msi::MsiMessage;
+use std::fmt;
+
+/// One MSI-X table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsixEntry {
+    /// The programmed message, if any.
+    pub message: Option<MsiMessage>,
+    /// Entry mask bit (1 = masked).
+    pub masked: bool,
+    /// Pending bit: the device wanted to signal while masked.
+    pub pending: bool,
+}
+
+impl Default for MsixEntry {
+    fn default() -> MsixEntry {
+        MsixEntry {
+            message: None,
+            masked: true, // entries reset masked, per spec
+            pending: false,
+        }
+    }
+}
+
+/// An MSI-X table with its pending-bit array.
+///
+/// # Example
+///
+/// ```
+/// use dvh_devices::msix::MsixTable;
+/// use dvh_devices::msi::MsiMessage;
+///
+/// let mut t = MsixTable::new(3);
+/// t.program(0, MsiMessage::remappable(1, 0x51));
+/// t.unmask(0);
+/// assert_eq!(t.trigger(0), Some(MsiMessage::remappable(1, 0x51)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsixTable {
+    entries: Vec<MsixEntry>,
+    /// Function-level mask: masks every entry regardless of its bit.
+    pub function_masked: bool,
+}
+
+impl MsixTable {
+    /// Creates a table with `n` entries, all masked (reset state).
+    pub fn new(n: u16) -> MsixTable {
+        MsixTable {
+            entries: vec![MsixEntry::default(); n as usize],
+            function_masked: false,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Programs entry `i`'s message (address/data write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn program(&mut self, i: usize, msg: MsiMessage) {
+        self.entries[i].message = Some(msg);
+    }
+
+    /// Masks entry `i`.
+    pub fn mask(&mut self, i: usize) {
+        self.entries[i].masked = true;
+    }
+
+    /// Unmasks entry `i`. If a message was pending, it fires now:
+    /// the latched message is returned and the pending bit clears.
+    pub fn unmask(&mut self, i: usize) -> Option<MsiMessage> {
+        self.entries[i].masked = false;
+        if self.entries[i].pending && !self.function_masked {
+            self.entries[i].pending = false;
+            return self.entries[i].message;
+        }
+        None
+    }
+
+    /// The device signals interrupt source `i`: returns the message to
+    /// send, or latches the pending bit if the entry (or function) is
+    /// masked or unprogrammed.
+    pub fn trigger(&mut self, i: usize) -> Option<MsiMessage> {
+        let e = &mut self.entries[i];
+        match e.message {
+            Some(msg) if !e.masked && !self.function_masked => Some(msg),
+            _ => {
+                e.pending = true;
+                None
+            }
+        }
+    }
+
+    /// Whether entry `i` has a latched pending interrupt.
+    pub fn is_pending(&self, i: usize) -> bool {
+        self.entries[i].pending
+    }
+
+    /// Entry state, for config-space style reads.
+    pub fn entry(&self, i: usize) -> MsixEntry {
+        self.entries[i]
+    }
+}
+
+impl fmt::Display for MsixTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MsixTable({} entries, {} pending)",
+            self.entries.len(),
+            self.entries.iter().filter(|e| e.pending).count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_masked_and_unprogrammed() {
+        let t = MsixTable::new(2);
+        assert!(t.entry(0).masked);
+        assert!(t.entry(0).message.is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn trigger_while_masked_latches_pending() {
+        let mut t = MsixTable::new(1);
+        t.program(0, MsiMessage::remappable(2, 0x60));
+        assert_eq!(t.trigger(0), None, "masked: no message");
+        assert!(t.is_pending(0));
+        // Unmask fires the latched interrupt exactly once.
+        assert_eq!(t.unmask(0), Some(MsiMessage::remappable(2, 0x60)));
+        assert!(!t.is_pending(0));
+        assert_eq!(t.unmask(0), None);
+    }
+
+    #[test]
+    fn unmasked_trigger_fires_immediately() {
+        let mut t = MsixTable::new(1);
+        t.program(0, MsiMessage::legacy(0, 0x33));
+        t.unmask(0);
+        assert_eq!(t.trigger(0), Some(MsiMessage::legacy(0, 0x33)));
+        assert!(!t.is_pending(0));
+    }
+
+    #[test]
+    fn function_mask_overrides_entry_state() {
+        let mut t = MsixTable::new(1);
+        t.program(0, MsiMessage::legacy(0, 0x33));
+        t.unmask(0);
+        t.function_masked = true;
+        assert_eq!(t.trigger(0), None);
+        assert!(t.is_pending(0));
+        t.function_masked = false;
+        assert_eq!(t.unmask(0), Some(MsiMessage::legacy(0, 0x33)));
+    }
+
+    #[test]
+    fn unprogrammed_trigger_latches() {
+        let mut t = MsixTable::new(1);
+        t.unmask(0);
+        assert_eq!(t.trigger(0), None);
+        assert!(t.is_pending(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_entry_panics() {
+        MsixTable::new(1).program(5, MsiMessage::legacy(0, 1));
+    }
+}

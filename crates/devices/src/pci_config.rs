@@ -1,0 +1,312 @@
+//! Byte-accurate PCI configuration-space emulation.
+//!
+//! [`super::pci::PciDevice`] is the structured model; this module
+//! renders it as the 256-byte type-0 configuration space that system
+//! software actually reads — header, BARs with the write-ones sizing
+//! protocol, and a properly linked capability list starting at the
+//! capabilities pointer (offset 0x34). This is what makes a virtual
+//! device "appear to the guest hypervisors and OSes on any platform
+//! just like a physical I/O device" (§3.1): the guest's PCI probe
+//! walks these exact bytes.
+
+use crate::pci::{Capability, PciDevice};
+
+/// Standard config-space offsets.
+pub mod offset {
+    /// Vendor ID (16-bit).
+    pub const VENDOR_ID: usize = 0x00;
+    /// Device ID (16-bit).
+    pub const DEVICE_ID: usize = 0x02;
+    /// Command register (16-bit; bit 2 = bus-master enable).
+    pub const COMMAND: usize = 0x04;
+    /// Status register (16-bit; bit 4 = capabilities list present).
+    pub const STATUS: usize = 0x06;
+    /// First BAR (32-bit each, 6 of them).
+    pub const BAR0: usize = 0x10;
+    /// Capabilities pointer (8-bit).
+    pub const CAP_PTR: usize = 0x34;
+    /// First capability (conventional placement).
+    pub const FIRST_CAP: usize = 0x40;
+}
+
+/// Command-register bit: bus-master (DMA) enable.
+pub const COMMAND_BUS_MASTER: u16 = 1 << 2;
+/// Status-register bit: capability list present.
+pub const STATUS_CAP_LIST: u16 = 1 << 4;
+
+/// A rendered 256-byte configuration space with live BAR-sizing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpace {
+    bytes: [u8; 256],
+    /// Per-BAR size masks for the sizing protocol.
+    bar_sizes: [u64; 6],
+    /// BARs currently latched in "sizing" mode (all-ones written).
+    sizing: [bool; 6],
+}
+
+impl ConfigSpace {
+    /// Renders `dev` into a fresh configuration space.
+    pub fn render(dev: &PciDevice) -> ConfigSpace {
+        let mut bytes = [0u8; 256];
+        let mut bar_sizes = [0u64; 6];
+        bytes[offset::VENDOR_ID..][..2].copy_from_slice(&dev.vendor.to_le_bytes());
+        bytes[offset::DEVICE_ID..][..2].copy_from_slice(&dev.device.to_le_bytes());
+        let cmd: u16 = if dev.bus_master {
+            COMMAND_BUS_MASTER
+        } else {
+            0
+        };
+        bytes[offset::COMMAND..][..2].copy_from_slice(&cmd.to_le_bytes());
+        for i in 0..6 {
+            if let Some(bar) = dev.bar(i) {
+                let val = (bar.base as u32) & !0xF; // memory BAR, 32-bit
+                bytes[offset::BAR0 + i * 4..][..4].copy_from_slice(&val.to_le_bytes());
+                bar_sizes[i] = bar.len.next_power_of_two().max(16);
+            }
+        }
+        // Capability list: linked chain from 0x34.
+        let caps = dev.capabilities();
+        if !caps.is_empty() {
+            let status = u16::from_le_bytes([bytes[offset::STATUS], bytes[offset::STATUS + 1]])
+                | STATUS_CAP_LIST;
+            bytes[offset::STATUS..][..2].copy_from_slice(&status.to_le_bytes());
+            bytes[offset::CAP_PTR] = offset::FIRST_CAP as u8;
+            let mut at = offset::FIRST_CAP;
+            for (i, cap) in caps.iter().enumerate() {
+                let body_len = cap_body_len(cap);
+                let next = if i + 1 < caps.len() {
+                    (at + 2 + body_len + 3) & !3 // dword aligned
+                } else {
+                    0
+                };
+                bytes[at] = cap.id();
+                bytes[at + 1] = next as u8;
+                write_cap_body(cap, &mut bytes[at + 2..at + 2 + body_len]);
+                if next == 0 {
+                    break;
+                }
+                at = next;
+            }
+        }
+        ConfigSpace {
+            bytes,
+            bar_sizes,
+            sizing: [false; 6],
+        }
+    }
+
+    /// A 32-bit configuration read at `off` (must be dword-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned offsets, as a chipset would reject them.
+    pub fn read32(&self, off: usize) -> u32 {
+        assert_eq!(off % 4, 0, "config reads are dword-aligned");
+        if let Some(i) = bar_index(off) {
+            if self.sizing[i] {
+                // The sizing protocol: after writing all-ones, reads
+                // return the size mask (zero for unimplemented BARs).
+                if self.bar_sizes[i] == 0 {
+                    return 0;
+                }
+                return !(self.bar_sizes[i] as u32 - 1) & !0xF;
+            }
+        }
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("in range"))
+    }
+
+    /// A 32-bit configuration write at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned offsets.
+    pub fn write32(&mut self, off: usize, value: u32) {
+        assert_eq!(off % 4, 0, "config writes are dword-aligned");
+        if let Some(i) = bar_index(off) {
+            if value == u32::MAX {
+                self.sizing[i] = true;
+                return;
+            }
+            self.sizing[i] = false;
+            let val = value & !0xF;
+            self.bytes[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            return;
+        }
+        // Vendor/device IDs are read-only; the status half of the
+        // command dword is read-only but the command half is writable.
+        if off == offset::VENDOR_ID {
+            return;
+        }
+        if off == offset::COMMAND {
+            self.bytes[offset::COMMAND..][..2].copy_from_slice(&(value as u16).to_le_bytes());
+            return;
+        }
+        self.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Walks the capability list, returning `(id, offset)` pairs — the
+    /// algorithm every OS uses.
+    pub fn walk_capabilities(&self) -> Vec<(u8, usize)> {
+        let mut out = Vec::new();
+        let status =
+            u16::from_le_bytes([self.bytes[offset::STATUS], self.bytes[offset::STATUS + 1]]);
+        if status & STATUS_CAP_LIST == 0 {
+            return out;
+        }
+        let mut at = self.bytes[offset::CAP_PTR] as usize;
+        let mut guard = 0;
+        while at != 0 && guard < 48 {
+            out.push((self.bytes[at], at));
+            at = self.bytes[at + 1] as usize;
+            guard += 1;
+        }
+        out
+    }
+
+    /// Whether bus mastering (DMA) is enabled.
+    pub fn bus_master_enabled(&self) -> bool {
+        let cmd =
+            u16::from_le_bytes([self.bytes[offset::COMMAND], self.bytes[offset::COMMAND + 1]]);
+        cmd & COMMAND_BUS_MASTER != 0
+    }
+
+    /// The sized length of BAR `i` as software would compute it from
+    /// the sizing protocol.
+    pub fn size_bar(&mut self, i: usize) -> u64 {
+        let off = offset::BAR0 + i * 4;
+        let saved = self.read32(off);
+        self.write32(off, u32::MAX);
+        let mask = self.read32(off);
+        self.write32(off, saved);
+        if mask == 0 {
+            0
+        } else {
+            (!(mask as u64) + 1) & 0xFFFF_FFFF
+        }
+    }
+}
+
+fn bar_index(off: usize) -> Option<usize> {
+    if (offset::BAR0..offset::BAR0 + 24).contains(&off) && off.is_multiple_of(4) {
+        Some((off - offset::BAR0) / 4)
+    } else {
+        None
+    }
+}
+
+fn cap_body_len(cap: &Capability) -> usize {
+    match cap {
+        Capability::MsiX { .. } => 2,
+        Capability::PciExpress => 2,
+        Capability::SrIov { .. } => 2,
+        Capability::Migration(_) => 18,
+    }
+}
+
+fn write_cap_body(cap: &Capability, body: &mut [u8]) {
+    match cap {
+        Capability::MsiX { table_size } => {
+            body[..2].copy_from_slice(&(table_size - 1).to_le_bytes());
+        }
+        Capability::PciExpress => {
+            body[..2].copy_from_slice(&2u16.to_le_bytes()); // endpoint
+        }
+        Capability::SrIov { num_vfs } => {
+            body[..2].copy_from_slice(&num_vfs.to_le_bytes());
+        }
+        Capability::Migration(m) => {
+            body[..8].copy_from_slice(&m.device_state_addr.to_le_bytes());
+            body[8..16].copy_from_slice(&m.dirty_log_addr.to_le_bytes());
+            body[16..18].copy_from_slice(&(m.ctrl as u16).to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pci::{Bdf, MigrationCap};
+
+    fn dev() -> PciDevice {
+        let mut d = PciDevice::new(Bdf::new(0, 4, 0), 0x1AF4, 0x1041);
+        d.add_bar(0, 0xFEB0_0000, 0x4000);
+        d.add_capability(Capability::MsiX { table_size: 3 });
+        d.add_capability(Capability::Migration(MigrationCap {
+            device_state_addr: 0x1234,
+            dirty_log_addr: 0x5678,
+            ctrl: MigrationCap::CTRL_LOG_ENABLE,
+        }));
+        d
+    }
+
+    #[test]
+    fn header_fields_read_back() {
+        let cs = ConfigSpace::render(&dev());
+        let id = cs.read32(0x00);
+        assert_eq!(id & 0xFFFF, 0x1AF4);
+        assert_eq!(id >> 16, 0x1041);
+    }
+
+    #[test]
+    fn bar_sizing_protocol() {
+        let mut cs = ConfigSpace::render(&dev());
+        assert_eq!(cs.read32(offset::BAR0), 0xFEB0_0000);
+        assert_eq!(cs.size_bar(0), 0x4000);
+        // The original base survives the sizing dance.
+        assert_eq!(cs.read32(offset::BAR0), 0xFEB0_0000);
+        // Unimplemented BARs size to zero.
+        assert_eq!(cs.size_bar(3), 0);
+    }
+
+    #[test]
+    fn capability_walk_finds_linked_chain() {
+        let cs = ConfigSpace::render(&dev());
+        let caps = cs.walk_capabilities();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0].0, 0x11, "MSI-X first");
+        assert_eq!(caps[1].0, 0x09, "vendor-specific migration cap second");
+        assert_eq!(caps[0].1, offset::FIRST_CAP);
+        assert!(caps[1].1 > caps[0].1);
+    }
+
+    #[test]
+    fn no_caps_means_no_list_bit() {
+        let bare = PciDevice::new(Bdf::new(0, 5, 0), 0x8086, 0x10FB);
+        let cs = ConfigSpace::render(&bare);
+        assert!(cs.walk_capabilities().is_empty());
+        assert_eq!(cs.bytes[offset::CAP_PTR], 0);
+    }
+
+    #[test]
+    fn migration_cap_body_serializes_registers() {
+        let cs = ConfigSpace::render(&dev());
+        let (_, at) = cs.walk_capabilities()[1];
+        let state_addr = u64::from_le_bytes(cs.bytes[at + 2..at + 10].try_into().unwrap());
+        let log_addr = u64::from_le_bytes(cs.bytes[at + 10..at + 18].try_into().unwrap());
+        assert_eq!(state_addr, 0x1234);
+        assert_eq!(log_addr, 0x5678);
+    }
+
+    #[test]
+    fn bus_master_bit_round_trips() {
+        let mut d = dev();
+        d.bus_master = true;
+        let mut cs = ConfigSpace::render(&d);
+        assert!(cs.bus_master_enabled());
+        cs.write32(offset::COMMAND & !3, 0);
+        assert!(!cs.bus_master_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "dword-aligned")]
+    fn unaligned_read_rejected() {
+        ConfigSpace::render(&dev()).read32(0x01);
+    }
+
+    #[test]
+    fn vendor_id_is_read_only() {
+        let mut cs = ConfigSpace::render(&dev());
+        cs.write32(0x00, 0xDEAD_BEEF);
+        assert_eq!(cs.read32(0x00) & 0xFFFF, 0x1AF4);
+    }
+}

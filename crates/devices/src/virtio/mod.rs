@@ -1,0 +1,15 @@
+//! Virtio device models: split virtqueues, virtio-net, virtio-blk.
+//!
+//! These are the "PCI-based virtual I/O devices" (§3.1) that the host
+//! hypervisor provides. Under the traditional virtual I/O model every
+//! hypervisor level instantiates its own; under virtual-passthrough
+//! only the host's device exists and is assigned through the levels to
+//! the nested VM.
+
+pub mod blk;
+pub mod net;
+pub mod queue;
+
+pub use blk::VirtioBlk;
+pub use net::VirtioNet;
+pub use queue::{DescChain, Descriptor, VirtQueue};

@@ -1,0 +1,591 @@
+//! The exit engine: hardware exits, L0 dispatch, reflection to guest
+//! hypervisors, and the emergent exit-multiplication recursion.
+//!
+//! Control flow follows the paper's Fig. 1a exactly:
+//!
+//! 1. Any privileged action by software at level k ≥ 1 causes a
+//!    hardware exit that lands at L0 (single-level architectural
+//!    support, §2).
+//! 2. L0 either handles the exit itself (its own guest's exits, exits
+//!    that architecturally belong to it, or DVH-intercepted exits —
+//!    Fig. 1b) or *reflects* it to the owning guest hypervisor.
+//! 3. A reflected exit makes the guest hypervisor run its exit handler
+//!    as ordinary guest code — and every privileged instruction in
+//!    that handler traps again, recursively. Nothing in this file
+//!    knows "an L2 exit costs 24x an L1 exit"; that ratio emerges from
+//!    the recursion.
+
+use crate::config::IoModel;
+use crate::world::World;
+use dvh_arch::apic::IcrValue;
+use dvh_arch::msr;
+use dvh_arch::vmx::{ctrl, field, ExitQualification, ExitReason};
+
+/// What the owner's reason handler wants done after it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HandlerFlow {
+    /// Resume the exiting guest (the common case).
+    Resume,
+    /// The vCPU blocked (HLT); do not resume.
+    Halted,
+}
+
+impl World {
+    /// A hardware VM exit from the guest at `from_level` on `cpu`,
+    /// handled to completion: when this returns, all costs for the
+    /// full round trip (including re-entry, or the halt) are charged.
+    pub fn vmexit(
+        &mut self,
+        from_level: usize,
+        cpu: usize,
+        reason: ExitReason,
+        qual: ExitQualification,
+    ) {
+        debug_assert!(from_level >= 1 && from_level <= self.leaf_level());
+        let outermost = self.exit_depth == 0;
+        let t0 = if outermost { Some(self.now(cpu)) } else { None };
+        self.exit_depth += 1;
+        self.vmexit_inner(from_level, cpu, reason, qual);
+        self.exit_depth -= 1;
+        if let Some(t0) = t0 {
+            let spent = self.now(cpu) - t0;
+            self.stats.attribute_cycles(from_level, reason, spent);
+        }
+    }
+
+    fn vmexit_inner(
+        &mut self,
+        from_level: usize,
+        cpu: usize,
+        reason: ExitReason,
+        qual: ExitQualification,
+    ) {
+        self.compute(cpu, self.costs.vmexit_to_root);
+        self.stats.record_exit(from_level, reason);
+        let at = self.now(cpu);
+        self.trace(|| crate::trace::TraceEvent::Exit {
+            at,
+            cpu,
+            from_level,
+            reason,
+        });
+        self.compute(cpu, self.costs.l0_dispatch);
+
+        // EPT violations are owned by whichever hypervisor's stage is
+        // missing the page (encoded in the qualification by the fault
+        // path), not necessarily the VM's immediate parent.
+        if reason == ExitReason::EptViolation {
+            let stage = qual.raw as usize;
+            if stage == 0 || from_level == 1 {
+                self.l0_handle(cpu, from_level, reason, &qual);
+            } else {
+                self.reflect_to(stage, from_level, cpu, reason, qual);
+            }
+            return;
+        }
+        // Exits from L0's own guest are always L0's business.
+        if from_level == 1 {
+            self.l0_handle(cpu, from_level, reason, &qual);
+            return;
+        }
+        // Architectural rules that let L0 keep a nested exit.
+        if self.l0_owns(cpu, from_level, reason, &qual) {
+            self.l0_handle(cpu, from_level, reason, &qual);
+            return;
+        }
+        // DVH extensions (virtual hardware) get the next chance.
+        let mut exts = std::mem::take(&mut self.extensions);
+        let mut handled = None;
+        for e in exts.iter_mut() {
+            if e.try_intercept(self, cpu, from_level, reason, &qual)
+                == crate::extension::Intercept::Handled
+            {
+                handled = Some(e.name());
+                break;
+            }
+        }
+        self.extensions = exts;
+        if let Some(name) = handled {
+            self.stats.record_dvh(name);
+            let at = self.now(cpu);
+            self.trace(|| crate::trace::TraceEvent::DvhIntercept {
+                at,
+                cpu,
+                mechanism: name,
+            });
+            return;
+        }
+        // Otherwise: reflect to the guest hypervisor that owns the VM.
+        self.reflect(from_level, cpu, reason, qual);
+    }
+
+    /// Architectural reasons for L0 to keep an exit from a nested VM,
+    /// mirroring KVM's `nested_vmx_l0_wants_exit`.
+    fn l0_owns(
+        &self,
+        cpu: usize,
+        from_level: usize,
+        reason: ExitReason,
+        qual: &ExitQualification,
+    ) -> bool {
+        match reason {
+            // External interrupts are always taken by the host.
+            ExitReason::ExternalInterrupt => true,
+            // HLT: reflected only if the guest hypervisor asked to
+            // intercept it in its VMCS. Virtual idle (§3.4) works by
+            // guest hypervisors *clearing* this bit.
+            ExitReason::Hlt => !self
+                .vmcs(from_level - 1, cpu)
+                .has_bits(field::CPU_BASED_EXEC_CONTROLS, ctrl::cpu::HLT_EXITING),
+            // MMIO to a region backed by an L0-owned device: under
+            // virtual-passthrough the nested VM's doorbell writes land
+            // on L0's virtio device, so L0 handles them directly —
+            // this is the essence of Fig. 2c and needs no DVH-specific
+            // hypervisor changes.
+            ExitReason::EptMisconfig => {
+                self.config.io_model == IoModel::VirtualPassthrough
+                    && self.gpa_is_l0_device(qual.guest_physical)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `gpa` falls in the BAR of the L0-provided virtio device.
+    pub(crate) fn gpa_is_l0_device(&self, gpa: u64) -> bool {
+        let Some(bar) = self.virtio[0].pci().bar(0) else {
+            return false;
+        };
+        gpa >= bar.base && gpa < bar.base + bar.len
+    }
+
+    // ---- L0 native handling ---------------------------------------------
+
+    /// L0's native handler for an exit it owns, including the VM entry
+    /// back into the guest.
+    pub(crate) fn l0_handle(
+        &mut self,
+        cpu: usize,
+        from_level: usize,
+        reason: ExitReason,
+        qual: &ExitQualification,
+    ) {
+        // Read the hot exit fields, natively.
+        for f in [
+            field::VM_EXIT_REASON,
+            field::EXIT_QUALIFICATION,
+            field::GUEST_RIP,
+            field::VM_EXIT_INSTRUCTION_LEN,
+        ] {
+            self.hv_vmread(0, cpu, f);
+        }
+        let flow = match reason {
+            ExitReason::Vmcall => {
+                self.compute(cpu, self.costs.hypercall_body);
+                HandlerFlow::Resume
+            }
+            ExitReason::MsrWrite => self.l0_wrmsr_body(cpu, from_level, qual),
+            ExitReason::MsrRead => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                HandlerFlow::Resume
+            }
+            ExitReason::Hlt => {
+                self.l0_halt_vcpu(cpu, from_level);
+                HandlerFlow::Halted
+            }
+            ExitReason::EptViolation => {
+                let leaf_pfn = qual.guest_physical >> 12;
+                self.populate_stage(0, cpu, leaf_pfn);
+                // The faulting instruction re-executes: enter without
+                // advancing RIP.
+                self.compute(cpu, self.costs.vmentry_from_root);
+                return;
+            }
+            ExitReason::EptMisconfig => {
+                self.l0_doorbell(cpu, from_level, qual);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmread | ExitReason::Vmwrite | ExitReason::Vmptrst => {
+                // Emulate the VMX instruction for L1 against vmcs12 in
+                // memory (the value movement itself is done by the
+                // primitive that raised this exit).
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmptrld | ExitReason::Vmclear => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.compute(cpu, self.costs.vmptrld);
+                HandlerFlow::Resume
+            }
+            ExitReason::Invept | ExitReason::Invvpid => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.compute(cpu, self.costs.invept);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmresume | ExitReason::Vmlaunch => {
+                // Emulate the nested VM entry: merge vmcs12 into
+                // vmcs02 and launch it (KVM's prepare_vmcs02).
+                self.compute(cpu, self.costs.vmcs02_merge);
+                for f in field::VMCS12_DIRTY_FIELDS {
+                    let v = self.vmcs(from_level, cpu).read(*f);
+                    self.hv_vmwrite(0, cpu, *f, v);
+                }
+                self.hv_vmptrld(0, cpu);
+                self.compute(cpu, self.costs.vmentry_from_root);
+                return; // entry is the resume; no RIP advance
+            }
+            ExitReason::ApicWrite | ExitReason::ApicAccess | ExitReason::EoiInduced => {
+                self.compute(cpu, self.costs.pi_desc_update);
+                HandlerFlow::Resume
+            }
+            ExitReason::ExternalInterrupt => {
+                self.compute(cpu, self.costs.external_intr);
+                HandlerFlow::Resume
+            }
+            _ => HandlerFlow::Resume,
+        };
+        if flow == HandlerFlow::Resume {
+            self.hv_vmwrite(0, cpu, field::GUEST_RIP, 0);
+            self.compute(cpu, self.costs.vmentry_from_root);
+        }
+    }
+
+    /// L0's `wrmsr` exit body, dispatching on the MSR.
+    fn l0_wrmsr_body(
+        &mut self,
+        cpu: usize,
+        from_level: usize,
+        qual: &ExitQualification,
+    ) -> HandlerFlow {
+        match qual.msr {
+            msr::IA32_TSC_DEADLINE => {
+                // Emulate the LAPIC timer with an hrtimer, then arm
+                // the hardware timer.
+                self.compute(cpu, self.costs.rdtsc);
+                self.compute(cpu, self.costs.hrtimer_program);
+                self.hv_wrmsr(0, cpu, msr::IA32_TSC_DEADLINE, qual.msr_value);
+                if from_level == 1 {
+                    self.timers[cpu].arm(qual.msr_value);
+                }
+            }
+            msr::IA32_X2APIC_ICR => {
+                // Send the IPI: update the destination's PI descriptor
+                // and fire the physical notification.
+                let icr = IcrValue::decode(qual.msr_value);
+                self.compute(cpu, self.costs.icr_emulate);
+                self.compute(cpu, self.costs.pi_desc_update);
+                self.send_physical_ipi(cpu, icr);
+            }
+            _ => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+            }
+        }
+        HandlerFlow::Resume
+    }
+
+    // ---- Reflection to guest hypervisors ---------------------------------
+
+    /// Reflects an exit from `from_level` to its owning guest
+    /// hypervisor at `from_level - 1`, running the full forwarding
+    /// chain, the owner's handler, and the resume chain.
+    fn reflect(
+        &mut self,
+        from_level: usize,
+        cpu: usize,
+        reason: ExitReason,
+        qual: ExitQualification,
+    ) {
+        self.reflect_to(from_level - 1, from_level, cpu, reason, qual);
+    }
+
+    /// Reflects an exit to an explicit owning hypervisor — used for
+    /// EPT violations (owned by whichever hypervisor's stage misses
+    /// the page) and by DVH extensions implementing §3.5's partial
+    /// recursive enablement, where a timer access is forwarded only as
+    /// far as the first hypervisor below a disabled level.
+    pub fn reflect_to(
+        &mut self,
+        owner: usize,
+        from_level: usize,
+        cpu: usize,
+        reason: ExitReason,
+        qual: ExitQualification,
+    ) {
+        debug_assert!(owner >= 1);
+        self.stats.record_intervention(owner);
+        let at = self.now(cpu);
+        self.trace(|| crate::trace::TraceEvent::Intervention {
+            at,
+            cpu,
+            hv_level: owner,
+            reason,
+        });
+
+        // L0's native reflect step: decide the exit is not ours, build
+        // the synthetic exit state in vmcs12, switch to vmcs01, enter L1.
+        self.compute(cpu, self.costs.nested_exit_triage);
+        for f in [
+            field::VM_EXIT_REASON,
+            field::EXIT_QUALIFICATION,
+            field::VM_EXIT_INTR_INFO,
+            field::IDT_VECTORING_INFO,
+        ] {
+            self.hv_vmread(0, cpu, f);
+        }
+        self.compute(cpu, self.costs.nested_reflect_build);
+        self.write_synthetic_exit(1, cpu, reason, &qual);
+        self.hv_vmptrld(0, cpu);
+        self.compute(cpu, self.costs.vmentry_from_root);
+
+        // Intermediate hypervisors forward the exit upward: each takes
+        // a full world switch, triages, rebuilds exit state for the
+        // next hypervisor, and resumes it.
+        for j in 1..owner {
+            self.exit_side_program(j, cpu);
+            self.compute(cpu, self.costs.nested_exit_triage);
+            self.compute(cpu, self.costs.nested_reflect_build);
+            self.write_synthetic_exit(j + 1, cpu, reason, &qual);
+            self.entry_side_program(j, cpu);
+            self.vmresume_insn(j, cpu);
+        }
+
+        // The owner handles the exit for its nested VM.
+        self.exit_side_program(owner, cpu);
+        let flow = self.owner_reason_handler(owner, cpu, from_level, reason, &qual);
+        if flow == HandlerFlow::Resume {
+            self.entry_side_program(owner, cpu);
+            self.vmresume_insn(owner, cpu);
+        }
+    }
+
+    /// Writes synthetic exit state into the VMCS the hypervisor at
+    /// `reader_level` will read (its "vmcs12"). In-memory stores for
+    /// the writer; the read cost is charged when the reader reads.
+    fn write_synthetic_exit(
+        &mut self,
+        reader_level: usize,
+        cpu: usize,
+        reason: ExitReason,
+        qual: &ExitQualification,
+    ) {
+        let m = self.vmcs_mut(reader_level, cpu);
+        m.write(field::VM_EXIT_REASON, reason.number() as u64);
+        m.write(field::EXIT_QUALIFICATION, qual.raw);
+        m.write(field::GUEST_PHYSICAL_ADDRESS, qual.guest_physical);
+    }
+
+    /// The `vmresume` instruction executed by the hypervisor at
+    /// `level`: native for L0, a trapped-and-emulated VMX instruction
+    /// for everyone else. After it completes, the hardware is running
+    /// the deepest guest again.
+    pub(crate) fn vmresume_insn(&mut self, level: usize, cpu: usize) {
+        if level == 0 {
+            self.hv_vmptrld(0, cpu);
+            self.compute(cpu, self.costs.vmentry_from_root);
+        } else {
+            self.vmexit(
+                level,
+                cpu,
+                ExitReason::Vmresume,
+                ExitQualification::default(),
+            );
+        }
+    }
+
+    /// The exit-side world-switch program of the hypervisor at
+    /// `level` ≥ 1 (see [`crate::profile::HvProfile`]).
+    pub(crate) fn exit_side_program(&mut self, level: usize, cpu: usize) {
+        let hot = self.profile.hot_reads.clone();
+        let cold = self.profile.cold_reads.clone();
+        for f in hot {
+            self.hv_vmread(level, cpu, f);
+        }
+        for f in cold {
+            self.hv_vmread(level, cpu, f);
+        }
+        for _ in 0..self.profile.exit_msr_reads {
+            self.hv_rdmsr(level, cpu, 0x48 /* IA32_SPEC_CTRL */);
+        }
+        self.compute(cpu, self.profile.exit_software);
+    }
+
+    /// The entry-side world-switch program of the hypervisor at
+    /// `level` ≥ 1.
+    pub(crate) fn entry_side_program(&mut self, level: usize, cpu: usize) {
+        let hot = self.profile.hot_writes.clone();
+        let cold = self.profile.cold_writes.clone();
+        for f in hot {
+            let v = self.vmcs(level, cpu).read(f);
+            self.hv_vmwrite(level, cpu, f, v);
+        }
+        for f in cold {
+            let v = self.vmcs(level, cpu).read(f);
+            self.hv_vmwrite(level, cpu, f, v);
+        }
+        for i in 0..self.profile.entry_msr_writes {
+            if i == 0 {
+                self.hv_wrmsr(level, cpu, 0x48 /* IA32_SPEC_CTRL */, 0);
+            } else {
+                // hrtimer re-arm for the hypervisor's own tick.
+                self.hv_wrmsr(level, cpu, msr::IA32_TSC_DEADLINE, u64::MAX);
+            }
+        }
+        for _ in 0..self.profile.apic_maintenance {
+            if level == 1 {
+                // APICv covers L1's own APIC accesses.
+                self.compute(cpu, self.costs.pi_desc_update);
+            } else {
+                self.vmexit(
+                    level,
+                    cpu,
+                    ExitReason::ApicWrite,
+                    ExitQualification::default(),
+                );
+            }
+        }
+        self.compute(cpu, self.profile.entry_software);
+    }
+
+    /// The reason-specific handler run by a guest hypervisor (`owner`
+    /// ≥ 1) emulating hardware for its nested VM at `from_level`.
+    fn owner_reason_handler(
+        &mut self,
+        owner: usize,
+        cpu: usize,
+        from_level: usize,
+        reason: ExitReason,
+        qual: &ExitQualification,
+    ) -> HandlerFlow {
+        match reason {
+            ExitReason::Vmcall => {
+                self.compute(cpu, self.costs.hypercall_body);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::MsrWrite => match qual.msr {
+                msr::IA32_TSC_DEADLINE => {
+                    // Emulate the nested VM's timer with the owner's
+                    // hrtimer machinery. The owner consults the TSC
+                    // offset it programmed for the nested VM (a cold
+                    // VMCS field) and arming its own hardware timer is
+                    // itself a trapped wrmsr — exit multiplication.
+                    self.hv_vmread(owner, cpu, field::TSC_OFFSET);
+                    self.compute(cpu, self.costs.rdtsc);
+                    self.compute(cpu, self.costs.hrtimer_program);
+                    if from_level == self.leaf_level() {
+                        self.timers[cpu].arm(qual.msr_value);
+                    }
+                    self.hv_wrmsr(owner, cpu, msr::IA32_TSC_DEADLINE, qual.msr_value);
+                    self.advance_guest_rip(owner, cpu);
+                    HandlerFlow::Resume
+                }
+                msr::IA32_X2APIC_ICR => {
+                    // Fig. 4: the owner updates the destination's PI
+                    // descriptor and asks the hardware (via its own
+                    // trapped ICR write) to send the posted interrupt.
+                    self.compute(cpu, self.costs.icr_emulate);
+                    self.compute(cpu, self.costs.pi_desc_update);
+                    self.hv_wrmsr(owner, cpu, msr::IA32_X2APIC_ICR, qual.msr_value);
+                    self.advance_guest_rip(owner, cpu);
+                    HandlerFlow::Resume
+                }
+                _ => {
+                    self.compute(cpu, self.costs.vmx_insn_emulate);
+                    self.advance_guest_rip(owner, cpu);
+                    HandlerFlow::Resume
+                }
+            },
+            ExitReason::MsrRead => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::Hlt => {
+                // Block the nested vCPU; with nothing else to run, the
+                // owner idles too — recursively, down to L0.
+                self.compute(cpu, self.costs.vcpu_block);
+                self.push_halt_level(cpu, owner);
+                self.vmexit(owner, cpu, ExitReason::Hlt, ExitQualification::default());
+                HandlerFlow::Halted
+            }
+            ExitReason::EptViolation => {
+                // The owner's EPT stage lacks the page: populate it
+                // (its own TLB invalidation traps), then resume; the
+                // faulting access re-executes, so no RIP advance.
+                let leaf_pfn = qual.guest_physical >> 12;
+                self.populate_stage(owner, cpu, leaf_pfn);
+                HandlerFlow::Resume
+            }
+            ExitReason::EptMisconfig => {
+                // The nested VM kicked the doorbell of the virtio
+                // device this owner provides (cascade model). MMIO
+                // emulation decodes the guest instruction: it needs the
+                // faulting linear address (a cold VMCS field) and the
+                // instruction bytes (a guest page-table walk).
+                self.hv_vmread(owner, cpu, field::GUEST_PHYSICAL_ADDRESS);
+                self.hv_vmread(owner, cpu, field::GUEST_LINEAR_ADDRESS);
+                self.compute(cpu, self.costs.walk_mem_ref * 4);
+                self.compute(cpu, self.costs.mmio_decode);
+                self.compute(cpu, self.costs.mmio_bus_lookup);
+                self.compute(cpu, self.costs.ioeventfd_signal);
+                self.owner_doorbell(owner, cpu);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmread | ExitReason::Vmwrite | ExitReason::Vmptrst => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmptrld | ExitReason::Vmclear => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.hv_vmptrld(owner, cpu);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::Invept | ExitReason::Invvpid => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.hv_invept(owner, cpu);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::Vmresume | ExitReason::Vmlaunch => {
+                // Emulate the nested hypervisor's VM entry: merge its
+                // vmcs12 into the owner's vmcs02-equivalent. Every
+                // field write is a (mostly cold) VMCS access by the
+                // owner.
+                self.compute(cpu, self.costs.vmcs02_merge);
+                for f in field::VMCS12_DIRTY_FIELDS {
+                    let v = self.vmcs(from_level, cpu).read(*f);
+                    self.hv_vmwrite(owner, cpu, *f, v);
+                }
+                self.hv_vmptrld(owner, cpu);
+                HandlerFlow::Resume
+            }
+            ExitReason::ApicWrite | ExitReason::ApicAccess | ExitReason::EoiInduced => {
+                self.compute(cpu, self.costs.pi_desc_update);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+            _ => {
+                self.compute(cpu, self.costs.vmx_insn_emulate);
+                self.advance_guest_rip(owner, cpu);
+                HandlerFlow::Resume
+            }
+        }
+    }
+
+    /// Advances the exiting guest's RIP past the emulated instruction.
+    fn advance_guest_rip(&mut self, owner: usize, cpu: usize) {
+        let rip = self.vmcs(owner, cpu).read(field::GUEST_RIP);
+        self.hv_vmwrite(owner, cpu, field::GUEST_RIP, rip.wrapping_add(3));
+    }
+
+    /// Combined TSC offset from L0 down to (and including) the
+    /// hypervisor at `upto` — what the host needs to emulate a nested
+    /// VM's timer with the correct time base (§3.2).
+    pub fn combined_tsc_offset(&self, upto: usize, cpu: usize) -> u64 {
+        (0..=upto)
+            .map(|k| self.vmcs(k, cpu).read(field::TSC_OFFSET))
+            .fold(0u64, u64::wrapping_add)
+    }
+}

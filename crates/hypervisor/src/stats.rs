@@ -1,0 +1,190 @@
+//! Run statistics: exit counts by level and reason, interventions,
+//! cycle accounting.
+
+use dvh_arch::vmx::ExitReason;
+use dvh_arch::Cycles;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Statistics accumulated while a simulated machine runs.
+///
+/// The exit ledger is the backbone of the test suite: DVH claims are
+/// claims about *which exits stop happening* (e.g. with virtual timers
+/// enabled, a nested VM's timer writes are never delivered to the guest
+/// hypervisor).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Hardware exits, keyed by (exiting level, reason). Every exit
+    /// lands at L0 first (single-level architectural support); this
+    /// records where it came *from*.
+    pub exits: BTreeMap<(usize, ExitReason), u64>,
+    /// Exits that were delivered to a guest hypervisor at the keyed
+    /// level (1-based) — the "guest hypervisor interventions" the paper
+    /// counts as the root cause of nested overhead.
+    pub interventions: BTreeMap<usize, u64>,
+    /// Exits handled entirely by L0 on behalf of a nested VM thanks to
+    /// a DVH mechanism.
+    pub dvh_intercepts: BTreeMap<&'static str, u64>,
+    /// Posted interrupts delivered without any exit.
+    pub posted_deliveries: u64,
+    /// Interrupts that required exit-based injection.
+    pub injected_interrupts: u64,
+    /// Cycles spent with a physical CPU halted (not burned).
+    pub idle_cycles: Cycles,
+    /// Cycles burned busy-polling instead of halting (the `idle=poll`
+    /// alternative §3.4 contrasts with virtual idle).
+    pub burned_idle_cycles: Cycles,
+    /// Cycles attributed to each *outermost* exit, by (level, reason):
+    /// the full cost of handling that exit, including every nested
+    /// trap it caused. Answers "where did the time go?".
+    pub cycles_by_reason: BTreeMap<(usize, ExitReason), Cycles>,
+}
+
+impl RunStats {
+    /// Creates empty statistics.
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Records a hardware exit from `level` with `reason`.
+    pub fn record_exit(&mut self, level: usize, reason: ExitReason) {
+        *self.exits.entry((level, reason)).or_insert(0) += 1;
+    }
+
+    /// Records delivery of an exit to the guest hypervisor at `level`.
+    pub fn record_intervention(&mut self, level: usize) {
+        *self.interventions.entry(level).or_insert(0) += 1;
+    }
+
+    /// Records a DVH interception by mechanism name.
+    pub fn record_dvh(&mut self, mechanism: &'static str) {
+        *self.dvh_intercepts.entry(mechanism).or_insert(0) += 1;
+    }
+
+    /// Attributes `cycles` to the outermost exit (level, reason).
+    pub fn attribute_cycles(&mut self, level: usize, reason: ExitReason, cycles: Cycles) {
+        *self
+            .cycles_by_reason
+            .entry((level, reason))
+            .or_insert(Cycles::ZERO) += cycles;
+    }
+
+    /// Total attributed cycles across all outermost exits.
+    pub fn total_attributed_cycles(&self) -> Cycles {
+        self.cycles_by_reason.values().copied().sum()
+    }
+
+    /// Total hardware exits from all levels.
+    pub fn total_exits(&self) -> u64 {
+        self.exits.values().sum()
+    }
+
+    /// Total exits from the given level.
+    pub fn exits_from_level(&self, level: usize) -> u64 {
+        self.exits
+            .iter()
+            .filter(|((l, _), _)| *l == level)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Exits from `level` with `reason`.
+    pub fn exits_with(&self, level: usize, reason: ExitReason) -> u64 {
+        self.exits.get(&(level, reason)).copied().unwrap_or(0)
+    }
+
+    /// Total guest-hypervisor interventions (any level >= 1).
+    pub fn total_interventions(&self) -> u64 {
+        self.interventions.values().sum()
+    }
+
+    /// Total DVH interceptions.
+    pub fn total_dvh_intercepts(&self) -> u64 {
+        self.dvh_intercepts.values().sum()
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        for (k, v) in &other.exits {
+            *self.exits.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.interventions {
+            *self.interventions.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.dvh_intercepts {
+            *self.dvh_intercepts.entry(k).or_insert(0) += v;
+        }
+        self.posted_deliveries += other.posted_deliveries;
+        self.injected_interrupts += other.injected_interrupts;
+        self.idle_cycles += other.idle_cycles;
+        self.burned_idle_cycles += other.burned_idle_cycles;
+        for (k, v) in &other.cycles_by_reason {
+            *self.cycles_by_reason.entry(*k).or_insert(Cycles::ZERO) += *v;
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "exits={} interventions={} dvh={} posted={} injected={}",
+            self.total_exits(),
+            self.total_interventions(),
+            self.total_dvh_intercepts(),
+            self.posted_deliveries,
+            self.injected_interrupts
+        )?;
+        for ((level, reason), n) in &self.exits {
+            writeln!(f, "  L{level} {reason}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_ledger() {
+        let mut s = RunStats::new();
+        s.record_exit(2, ExitReason::Vmcall);
+        s.record_exit(2, ExitReason::Vmcall);
+        s.record_exit(1, ExitReason::Vmresume);
+        assert_eq!(s.total_exits(), 3);
+        assert_eq!(s.exits_from_level(2), 2);
+        assert_eq!(s.exits_with(2, ExitReason::Vmcall), 2);
+        assert_eq!(s.exits_with(3, ExitReason::Vmcall), 0);
+    }
+
+    #[test]
+    fn interventions_and_dvh() {
+        let mut s = RunStats::new();
+        s.record_intervention(1);
+        s.record_intervention(1);
+        s.record_dvh("vtimer");
+        assert_eq!(s.total_interventions(), 2);
+        assert_eq!(s.total_dvh_intercepts(), 1);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = RunStats::new();
+        a.record_exit(1, ExitReason::Hlt);
+        let mut b = RunStats::new();
+        b.record_exit(1, ExitReason::Hlt);
+        b.posted_deliveries = 3;
+        a.merge(&b);
+        assert_eq!(a.exits_with(1, ExitReason::Hlt), 2);
+        assert_eq!(a.posted_deliveries, 3);
+    }
+
+    #[test]
+    fn display_lists_reasons() {
+        let mut s = RunStats::new();
+        s.record_exit(2, ExitReason::Hlt);
+        let text = s.to_string();
+        assert!(text.contains("L2 Hlt: 1"));
+    }
+}

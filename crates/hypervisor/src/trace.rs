@@ -1,0 +1,279 @@
+//! Execution tracing: a per-world event log of everything the exit
+//! engine does, for debugging, visualization, and fine-grained tests.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); enable
+//! it with [`World::enable_tracing`] and drain events with
+//! [`World::take_trace`].
+
+use crate::world::World;
+use dvh_arch::vmx::ExitReason;
+use dvh_arch::Cycles;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A hardware VM exit landed at L0.
+    Exit {
+        /// Simulated time on the exiting CPU.
+        at: Cycles,
+        /// CPU the exit happened on.
+        cpu: usize,
+        /// Level the guest was running at.
+        from_level: usize,
+        /// Architectural reason.
+        reason: ExitReason,
+    },
+    /// An exit was delivered to a guest hypervisor.
+    Intervention {
+        /// Time of delivery.
+        at: Cycles,
+        /// CPU.
+        cpu: usize,
+        /// The guest hypervisor's level.
+        hv_level: usize,
+        /// The reason being delivered.
+        reason: ExitReason,
+    },
+    /// A DVH mechanism handled an exit at L0.
+    DvhIntercept {
+        /// Time of interception.
+        at: Cycles,
+        /// CPU.
+        cpu: usize,
+        /// Mechanism name ("vtimer", "vipi", ...).
+        mechanism: &'static str,
+    },
+    /// An interrupt became visible to the leaf vCPU.
+    IrqDelivered {
+        /// Time of delivery on the destination CPU.
+        at: Cycles,
+        /// Destination CPU.
+        cpu: usize,
+        /// Vector delivered.
+        vector: u8,
+        /// Whether the destination had been halted.
+        woke: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Cycles {
+        match self {
+            TraceEvent::Exit { at, .. }
+            | TraceEvent::Intervention { at, .. }
+            | TraceEvent::DvhIntercept { at, .. }
+            | TraceEvent::IrqDelivered { at, .. } => *at,
+        }
+    }
+
+    /// The CPU the event occurred on.
+    pub fn cpu(&self) -> usize {
+        match self {
+            TraceEvent::Exit { cpu, .. }
+            | TraceEvent::Intervention { cpu, .. }
+            | TraceEvent::DvhIntercept { cpu, .. }
+            | TraceEvent::IrqDelivered { cpu, .. } => *cpu,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Exit {
+                at,
+                cpu,
+                from_level,
+                reason,
+            } => write!(f, "[{at}] cpu{cpu} exit L{from_level} {reason}"),
+            TraceEvent::Intervention {
+                at,
+                cpu,
+                hv_level,
+                reason,
+            } => write!(f, "[{at}] cpu{cpu} -> L{hv_level} hypervisor ({reason})"),
+            TraceEvent::DvhIntercept { at, cpu, mechanism } => {
+                write!(f, "[{at}] cpu{cpu} DVH {mechanism}")
+            }
+            TraceEvent::IrqDelivered {
+                at,
+                cpu,
+                vector,
+                woke,
+            } => write!(
+                f,
+                "[{at}] cpu{cpu} irq {vector:#x}{}",
+                if *woke { " (woke)" } else { "" }
+            ),
+        }
+    }
+}
+
+/// A bounded trace buffer (oldest events are dropped when full).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, e: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(e);
+    }
+
+    /// Events recorded, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl World {
+    /// Turns on tracing with the given buffer capacity.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// Stops tracing and returns the recorded events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take().map(|t| t.events).unwrap_or_default()
+    }
+
+    /// Records an event if tracing is enabled.
+    pub(crate) fn trace(&mut self, e: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(e());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use dvh_arch::costs::CostModel;
+
+    #[test]
+    fn trace_captures_exit_chain() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.enable_tracing(4096);
+        w.guest_hypercall(0);
+        let events = w.take_trace();
+        assert!(!events.is_empty());
+        // First event is the leaf's Vmcall exit.
+        assert!(matches!(
+            events[0],
+            TraceEvent::Exit {
+                from_level: 2,
+                reason: ExitReason::Vmcall,
+                ..
+            }
+        ));
+        // Exactly one intervention (the L1 hypervisor handles it).
+        let interventions = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Intervention { .. }))
+            .count();
+        assert_eq!(interventions, 1);
+        // Timestamps are monotone per CPU.
+        let mut last = Cycles::ZERO;
+        for e in &events {
+            if e.cpu() == 0 {
+                assert!(e.at() >= last);
+                last = e.at();
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.guest_hypercall(0);
+        assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest() {
+        let mut t = Tracer::new(2);
+        for i in 0..5u8 {
+            t.record(TraceEvent::IrqDelivered {
+                at: Cycles::new(i as u64),
+                cpu: 0,
+                vector: i,
+                woke: false,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].at(), Cycles::new(3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent::Exit {
+            at: Cycles::new(100),
+            cpu: 1,
+            from_level: 2,
+            reason: ExitReason::Hlt,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cpu1") && s.contains("L2") && s.contains("Hlt"));
+    }
+
+    #[test]
+    fn dvh_intercepts_are_traced() {
+        use crate::extension::{Intercept, L0Extension};
+        use dvh_arch::vmx::ExitQualification;
+
+        struct Claim;
+        impl L0Extension for Claim {
+            fn name(&self) -> &'static str {
+                "claim-all"
+            }
+            fn try_intercept(
+                &mut self,
+                w: &mut World,
+                cpu: usize,
+                _from: usize,
+                _reason: ExitReason,
+                _qual: &ExitQualification,
+            ) -> Intercept {
+                w.compute(cpu, Cycles::new(1));
+                Intercept::Handled
+            }
+        }
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.register_extension(Box::new(Claim));
+        w.enable_tracing(128);
+        w.guest_hypercall(0);
+        let events = w.take_trace();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::DvhIntercept {
+                mechanism: "claim-all",
+                ..
+            }
+        )));
+    }
+}

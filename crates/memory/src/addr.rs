@@ -1,0 +1,126 @@
+//! Address newtypes and page constants.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Log2 of the page size (4 KiB pages).
+pub const PAGE_SHIFT: u64 = 12;
+/// The page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: $name = $name(0);
+
+            /// Constructs from a raw address.
+            pub const fn new(a: u64) -> $name {
+                $name(a)
+            }
+
+            /// The raw address value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The page frame number (address >> [`PAGE_SHIFT`]).
+            pub const fn pfn(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// The offset within the page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The address of the start of the containing page.
+            pub const fn page_base(self) -> $name {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Constructs the address of page frame `pfn`.
+            pub const fn from_pfn(pfn: u64) -> $name {
+                $name(pfn << PAGE_SHIFT)
+            }
+
+            /// Whether the address is page aligned.
+            pub const fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// Byte-offset addition (saturating).
+            pub const fn offset(self, d: u64) -> $name {
+                $name(self.0.saturating_add(d))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, d: u64) -> $name {
+                self.offset(d)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(a: u64) -> $name {
+                $name(a)
+            }
+        }
+    };
+}
+
+addr_type!(
+    /// A guest-virtual address.
+    Gva
+);
+addr_type!(
+    /// A guest-physical address (at some virtualization level; the level
+    /// is tracked by context, as in KVM).
+    Gpa
+);
+addr_type!(
+    /// A host-physical address — L0's machine address space.
+    Hpa
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfn_and_offset() {
+        let a = Gpa::new(0x1234);
+        assert_eq!(a.pfn(), 1);
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_base(), Gpa::new(0x1000));
+    }
+
+    #[test]
+    fn from_pfn_round_trip() {
+        let a = Hpa::from_pfn(42);
+        assert_eq!(a.pfn(), 42);
+        assert!(a.is_page_aligned());
+    }
+
+    #[test]
+    fn add_offsets() {
+        let a = Gpa::new(0x1000) + 8;
+        assert_eq!(a.raw(), 0x1008);
+    }
+
+    #[test]
+    fn display_contains_hex() {
+        assert_eq!(Gpa::new(0x10).to_string(), "Gpa(0x10)");
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-VM guest-physical address spaces.
+
+use crate::addr::{Gpa, PAGE_SIZE};
+use std::fmt;
+
+/// What a region of guest-physical space contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Ordinary RAM.
+    Ram,
+    /// Device MMIO (BAR), with the owning device's region id.
+    Mmio(u32),
+}
+
+/// A contiguous region of guest-physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First guest-physical address of the region.
+    pub base: Gpa,
+    /// Length in bytes.
+    pub len: u64,
+    /// Contents.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Whether `gpa` falls inside this region.
+    pub fn contains(&self, gpa: Gpa) -> bool {
+        gpa.raw() >= self.base.raw() && gpa.raw() < self.base.raw() + self.len
+    }
+
+    /// Last byte address of the region.
+    pub fn end(&self) -> Gpa {
+        Gpa::new(self.base.raw() + self.len - 1)
+    }
+}
+
+/// A VM's guest-physical memory layout: an ordered set of
+/// non-overlapping regions.
+///
+/// # Example
+///
+/// ```
+/// use dvh_memory::addr_space::{AddressSpace, RegionKind};
+/// use dvh_memory::Gpa;
+///
+/// let mut space = AddressSpace::new();
+/// space.add_ram(Gpa::ZERO, 12 << 30).unwrap(); // 12 GB, the paper's VM size
+/// space.add_mmio(Gpa::new(0x4_FE00_0000), 0x4000, 3).unwrap();
+/// assert!(matches!(space.kind_at(Gpa::new(0x1000)), Some(RegionKind::Ram)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+}
+
+/// Error adding a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapError {
+    /// The existing region that the new one collides with.
+    pub existing: Region,
+}
+
+impl fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region overlaps existing {:?} region at {}",
+            self.existing.kind, self.existing.base
+        )
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    fn add(&mut self, region: Region) -> Result<(), OverlapError> {
+        for r in &self.regions {
+            let disjoint = region.base.raw() + region.len <= r.base.raw()
+                || r.base.raw() + r.len <= region.base.raw();
+            if !disjoint {
+                return Err(OverlapError { existing: *r });
+            }
+        }
+        self.regions.push(region);
+        self.regions.sort_by_key(|r| r.base.raw());
+        Ok(())
+    }
+
+    /// Adds a RAM region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlapError`] if it overlaps an existing region.
+    pub fn add_ram(&mut self, base: Gpa, len: u64) -> Result<(), OverlapError> {
+        self.add(Region {
+            base,
+            len,
+            kind: RegionKind::Ram,
+        })
+    }
+
+    /// Adds an MMIO region with region id `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlapError`] if it overlaps an existing region.
+    pub fn add_mmio(&mut self, base: Gpa, len: u64, id: u32) -> Result<(), OverlapError> {
+        self.add(Region {
+            base,
+            len,
+            kind: RegionKind::Mmio(id),
+        })
+    }
+
+    /// Removes the MMIO region with id `id`, returning it.
+    pub fn remove_mmio(&mut self, id: u32) -> Option<Region> {
+        let pos = self
+            .regions
+            .iter()
+            .position(|r| r.kind == RegionKind::Mmio(id))?;
+        Some(self.regions.remove(pos))
+    }
+
+    /// The kind of region containing `gpa`, if any.
+    pub fn kind_at(&self, gpa: Gpa) -> Option<RegionKind> {
+        self.region_at(gpa).map(|r| r.kind)
+    }
+
+    /// The region containing `gpa`, if any.
+    pub fn region_at(&self, gpa: Gpa) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(gpa))
+    }
+
+    /// Total bytes of RAM.
+    pub fn ram_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.kind == RegionKind::Ram)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Total RAM pages.
+    pub fn ram_pages(&self) -> u64 {
+        self.ram_bytes() / PAGE_SIZE
+    }
+
+    /// All regions in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_find() {
+        let mut s = AddressSpace::new();
+        s.add_ram(Gpa::ZERO, 0x10000).unwrap();
+        s.add_mmio(Gpa::new(0x20000), 0x1000, 9).unwrap();
+        assert_eq!(s.kind_at(Gpa::new(0x100)), Some(RegionKind::Ram));
+        assert_eq!(s.kind_at(Gpa::new(0x20000)), Some(RegionKind::Mmio(9)));
+        assert_eq!(s.kind_at(Gpa::new(0x19000)), None);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut s = AddressSpace::new();
+        s.add_ram(Gpa::ZERO, 0x10000).unwrap();
+        assert!(s.add_mmio(Gpa::new(0x8000), 0x1000, 1).is_err());
+        // Adjacent is fine.
+        assert!(s.add_mmio(Gpa::new(0x10000), 0x1000, 1).is_ok());
+    }
+
+    #[test]
+    fn ram_accounting() {
+        let mut s = AddressSpace::new();
+        s.add_ram(Gpa::ZERO, 0x10000).unwrap();
+        s.add_ram(Gpa::new(0x100000), 0x10000).unwrap();
+        assert_eq!(s.ram_bytes(), 0x20000);
+        assert_eq!(s.ram_pages(), 0x20);
+    }
+
+    #[test]
+    fn remove_mmio_region() {
+        let mut s = AddressSpace::new();
+        s.add_mmio(Gpa::new(0x20000), 0x1000, 9).unwrap();
+        let r = s.remove_mmio(9).unwrap();
+        assert_eq!(r.base, Gpa::new(0x20000));
+        assert!(s.remove_mmio(9).is_none());
+        assert_eq!(s.kind_at(Gpa::new(0x20000)), None);
+    }
+
+    #[test]
+    fn regions_sorted_by_base() {
+        let mut s = AddressSpace::new();
+        s.add_mmio(Gpa::new(0x30000), 0x1000, 2).unwrap();
+        s.add_ram(Gpa::ZERO, 0x1000).unwrap();
+        let bases: Vec<u64> = s.regions().iter().map(|r| r.base.raw()).collect();
+        assert_eq!(bases, vec![0, 0x30000]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sparse byte-addressable memory.
+//!
+//! Guest RAM in the simulator is huge (the paper's VMs have 12 GB) but
+//! only the pages a workload actually touches matter; `SparseMemory`
+//! allocates 4 KiB chunks lazily. It backs data-integrity tests (DMA
+//! really moves bytes) and migration (pages are really copied).
+
+use crate::addr::{Gpa, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Lazily-allocated byte-addressable memory keyed by guest-physical
+/// address.
+///
+/// Reads of never-written memory return zeroes, like fresh RAM.
+///
+/// # Example
+///
+/// ```
+/// use dvh_memory::sparse::SparseMemory;
+/// use dvh_memory::Gpa;
+///
+/// let mut ram = SparseMemory::new();
+/// ram.write(Gpa::new(0x1FFE), &[0xAA, 0xBB, 0xCC, 0xDD]); // crosses a page
+/// assert_eq!(ram.read(Gpa::new(0x1FFE), 4), vec![0xAA, 0xBB, 0xCC, 0xDD]);
+/// assert_eq!(ram.read(Gpa::new(0x5000), 2), vec![0, 0]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    pages: BTreeMap<u64, Box<[u8]>>,
+}
+
+impl SparseMemory {
+    /// Creates empty memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    fn page_mut(&mut self, pfn: u64) -> &mut [u8] {
+        self.pages
+            .entry(pfn)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Writes `data` starting at `gpa`, crossing pages as needed.
+    pub fn write(&mut self, gpa: Gpa, data: &[u8]) {
+        let mut addr = gpa.raw();
+        let mut rest = data;
+        while !rest.is_empty() {
+            let pfn = addr >> 12;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = rest.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(pfn)[off..off + n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            addr += n as u64;
+        }
+    }
+
+    /// Reads `len` bytes starting at `gpa`.
+    pub fn read(&self, gpa: Gpa, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut addr = gpa.raw();
+        let mut remaining = len;
+        while remaining > 0 {
+            let pfn = addr >> 12;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = remaining.min(PAGE_SIZE as usize - off);
+            match self.pages.get(&pfn) {
+                Some(p) => out.extend_from_slice(&p[off..off + n]),
+                None => out.extend(std::iter::repeat_n(0, n)),
+            }
+            remaining -= n;
+            addr += n as u64;
+        }
+        out
+    }
+
+    /// Copies one whole page out (zeroes if untouched).
+    pub fn read_page(&self, pfn: u64) -> Vec<u8> {
+        self.read(Gpa::from_pfn(pfn), PAGE_SIZE as usize)
+    }
+
+    /// Writes one whole page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page long.
+    pub fn write_page(&mut self, pfn: u64, data: &[u8]) {
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE as usize,
+            "page write must be page-sized"
+        );
+        self.write(Gpa::from_pfn(pfn), data);
+    }
+
+    /// Number of materialized pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// PFNs of all materialized pages in ascending order.
+    pub fn resident_pfns(&self) -> Vec<u64> {
+        self.pages.keys().copied().collect()
+    }
+}
+
+impl fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SparseMemory({} resident pages)", self.pages.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let ram = SparseMemory::new();
+        assert_eq!(ram.read(Gpa::new(0x123), 3), vec![0, 0, 0]);
+        assert_eq!(ram.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut ram = SparseMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        ram.write(Gpa::new(0x8000), &data);
+        assert_eq!(ram.read(Gpa::new(0x8000), 256), data);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut ram = SparseMemory::new();
+        ram.write(Gpa::new(0xFFF), &[1, 2]);
+        assert_eq!(ram.read(Gpa::new(0xFFF), 2), vec![1, 2]);
+        assert_eq!(ram.resident_pages(), 2);
+    }
+
+    #[test]
+    fn page_granular_ops() {
+        let mut ram = SparseMemory::new();
+        let page = vec![7u8; PAGE_SIZE as usize];
+        ram.write_page(3, &page);
+        assert_eq!(ram.read_page(3), page);
+        assert_eq!(ram.resident_pfns(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-sized")]
+    fn write_page_rejects_wrong_size() {
+        SparseMemory::new().write_page(0, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,154 @@
+//! The destination side of a migration: resume the nested VM on a
+//! second machine from the transferred memory image and device state.
+//!
+//! §3.6: "We assume the same type of host hypervisor is used at the
+//! source and destination so that the encapsulated state can be
+//! interpreted correctly at the destination." [`resume_on`] enforces
+//! exactly that: the destination must run the same configuration, and
+//! the restore is verified, not assumed.
+
+use crate::precopy::{MigrationError, MigrationReport};
+use dvh_core::{migration_cap, IoModel, World};
+
+/// Why a destination resume failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The destination machine's configuration differs from the
+    /// source's (different "type of host hypervisor", §3.6).
+    ConfigMismatch {
+        /// Description of the first difference found.
+        what: String,
+    },
+    /// The device state could not be restored.
+    DeviceRestore(MigrationError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::ConfigMismatch { what } => {
+                write!(f, "destination configuration mismatch: {what}")
+            }
+            ResumeError::DeviceRestore(e) => write!(f, "device state restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Applies a migration's transferred state to destination machine
+/// `dst` and resumes it. Returns the number of pages installed.
+///
+/// # Errors
+///
+/// See [`ResumeError`].
+pub fn resume_on(
+    dst: &mut World,
+    src_config: &dvh_hypervisor::WorldConfig,
+    report: &MigrationReport,
+) -> Result<u64, ResumeError> {
+    if dst.config != *src_config {
+        return Err(ResumeError::ConfigMismatch {
+            what: format!(
+                "source {:?}/{} levels vs destination {:?}/{} levels",
+                src_config.io_model, src_config.levels, dst.config.io_model, dst.config.levels
+            ),
+        });
+    }
+    // Install the memory image.
+    let pfns = report.image.resident_pfns();
+    for pfn in &pfns {
+        dst.host_mem.write_page(*pfn, &report.image.read_page(*pfn));
+    }
+    // Restore the encapsulated device state, when the configuration
+    // carries one.
+    if let Some(state) = &report.device_state {
+        if dst.config.io_model == IoModel::VirtualPassthrough {
+            migration_cap::restore_device_state(dst, state).map_err(|_| {
+                ResumeError::DeviceRestore(MigrationError::MissingMigrationCapability)
+            })?;
+            debug_assert!(migration_cap::state_matches(dst, state));
+        }
+    }
+    dst.resume_all();
+    Ok(pfns.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precopy::{migrate_nested_vm, MigrationConfig};
+    use dvh_core::{Machine, MachineConfig};
+    use dvh_hypervisor::world::LEAF_BUF_BASE_PFN;
+    use dvh_memory::Gpa;
+
+    fn loaded_source() -> Machine {
+        let mut m = Machine::build(MachineConfig::dvh(2));
+        for i in 0..24u64 {
+            let data: Vec<u8> = (0..128u32)
+                .map(|b| (b as u64 * (i + 1) % 253) as u8)
+                .collect();
+            m.world_mut()
+                .guest_write_memory(0, Gpa::from_pfn(LEAF_BUF_BASE_PFN + i), &data);
+        }
+        // Some device history so the captured state is non-trivial.
+        m.net_tx(0, 2, 800);
+        m
+    }
+
+    #[test]
+    fn end_to_end_source_to_destination() {
+        let mut src = loaded_source();
+        let report =
+            migrate_nested_vm(src.world_mut(), MigrationConfig::default(), |_| {}).unwrap();
+        assert!(report.verified);
+
+        let mut dst = Machine::build(MachineConfig::dvh(2));
+        let installed = resume_on(dst.world_mut(), &src.world().config, &report).unwrap();
+        assert!(installed >= 24);
+
+        // Destination memory is bit-identical to the source.
+        for i in 0..24u64 {
+            let a = src
+                .world()
+                .guest_read_memory(Gpa::from_pfn(LEAF_BUF_BASE_PFN + i), 128);
+            let b = dst
+                .world()
+                .guest_read_memory(Gpa::from_pfn(LEAF_BUF_BASE_PFN + i), 128);
+            assert_eq!(a, b, "page {i}");
+        }
+        // Device state round-tripped: the destination's capture equals
+        // the transferred one.
+        let transferred = report.device_state.expect("VP captures device state");
+        assert!(migration_cap::state_matches(dst.world_mut(), &transferred));
+        // And the destination VM runs.
+        assert!(dst.hypercall(0).as_u64() > 0);
+    }
+
+    #[test]
+    fn mismatched_destination_rejected() {
+        let mut src = loaded_source();
+        let report =
+            migrate_nested_vm(src.world_mut(), MigrationConfig::default(), |_| {}).unwrap();
+        let mut dst = Machine::build(MachineConfig::baseline(2)); // wrong io model
+        let err = resume_on(dst.world_mut(), &src.world().config, &report).unwrap_err();
+        assert!(matches!(err, ResumeError::ConfigMismatch { .. }));
+    }
+
+    #[test]
+    fn paravirtual_migration_resumes_without_device_blob() {
+        let mut src = Machine::build(MachineConfig::baseline(2));
+        src.world_mut()
+            .guest_write_memory(0, Gpa::from_pfn(LEAF_BUF_BASE_PFN), &[9; 256]);
+        let report =
+            migrate_nested_vm(src.world_mut(), MigrationConfig::default(), |_| {}).unwrap();
+        assert!(report.device_state.is_none());
+        let mut dst = Machine::build(MachineConfig::baseline(2));
+        resume_on(dst.world_mut(), &src.world().config, &report).unwrap();
+        assert_eq!(
+            dst.world()
+                .guest_read_memory(Gpa::from_pfn(LEAF_BUF_BASE_PFN), 4),
+            vec![9, 9, 9, 9]
+        );
+    }
+}

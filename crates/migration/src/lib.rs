@@ -1,0 +1,28 @@
+//! # dvh-migration
+//!
+//! Pre-copy live migration for the DVH simulator, reproducing the
+//! migration evaluation of §4 and the design of §3.6:
+//!
+//! * migrating a **VM** or a **nested VM** that uses paravirtual I/O or
+//!   DVH virtual-passthrough works, and DVH migration times are
+//!   "roughly the same" as paravirtual ones;
+//! * migrating with **physical device passthrough does not work** (no
+//!   I/O interposition: unknown device state, untracked DMA);
+//! * migrating the L1 VM *with* its guest hypervisor moves roughly
+//!   twice the memory, and is "roughly twice as expensive".
+//!
+//! The engine is a standard round-based pre-copy: copy all pages, then
+//! repeatedly re-copy pages dirtied while copying (CPU writes and —
+//! thanks to the §3.6 PCI migration capability — device DMA), until
+//! the remaining set is small enough to stop the VM and cut over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod destination;
+pub mod precopy;
+
+pub use bandwidth::Bandwidth;
+pub use destination::{resume_on, ResumeError};
+pub use precopy::{migrate_nested_vm, MigrationConfig, MigrationError, MigrationReport};

@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: end-to-end scenarios spanning the
+//! architecture model, memory system, devices, hypervisor, DVH
+//! mechanisms, workloads, and migration.
+
+use dvh_arch::vmx::ExitReason;
+use dvh_core::{migration_cap, Machine, MachineConfig};
+use dvh_devices::nic::Frame;
+use dvh_hypervisor::world::{LEAF_BUF_BASE_PFN, STAGE_PFN_OFFSET};
+use dvh_memory::Gpa;
+use dvh_migration::{migrate_nested_vm, MigrationConfig};
+use dvh_workloads::{run_app, run_micro, AppId};
+
+// ---- Virtual-passthrough datapath --------------------------------------
+
+#[test]
+fn vp_tx_data_flows_end_to_end_through_three_levels() {
+    // An L3 VM transmits through a virtual-passthrough device: the
+    // payload must cross two vIOMMU stages plus L0's stage and arrive
+    // intact on the wire, with zero guest-hypervisor interventions.
+    let mut m = Machine::build(MachineConfig::dvh(3));
+    let payload: Vec<u8> = (0..1400u32).map(|i| (i * 7 % 251) as u8).collect();
+    m.world_mut()
+        .guest_write_memory(0, Gpa::from_pfn(LEAF_BUF_BASE_PFN), &payload);
+    let before = m.world().stats.total_interventions();
+    m.net_tx(0, 1, payload.len() as u32);
+    assert_eq!(m.world().stats.total_interventions(), before);
+    let wire = m.world().nic.wire();
+    assert_eq!(wire.len(), 1);
+    assert_eq!(wire[0].payload, payload);
+}
+
+#[test]
+fn vp_rx_dma_lands_in_leaf_memory_and_is_dirty_tracked() {
+    let mut m = Machine::build(MachineConfig::dvh(2));
+    let frame = Frame::patterned(1200, 0x42);
+    m.world_mut().external_packet_arrival(0, frame.clone());
+    // The RX buffer the device model posts is at leaf PFN base+32.
+    let got = m
+        .world()
+        .guest_read_memory(Gpa::from_pfn(LEAF_BUF_BASE_PFN + 32), 1200);
+    assert_eq!(got, frame.payload);
+    // And the DMA was dirty-logged for migration.
+    assert!(m.world().leaf_dirty.is_dirty(LEAF_BUF_BASE_PFN + 32));
+}
+
+#[test]
+fn passthrough_rx_is_not_dirty_tracked() {
+    // The flip side of §3.6: physical passthrough DMA is invisible to
+    // the hypervisor.
+    let mut m = Machine::build(MachineConfig::passthrough(2));
+    m.world_mut()
+        .external_packet_arrival(0, Frame::patterned(800, 1));
+    assert!(m.world().leaf_dirty.is_clean());
+}
+
+#[test]
+fn shadow_io_table_composes_the_canonical_stage_chain() {
+    for levels in [2usize, 3, 4] {
+        let m = Machine::build(MachineConfig::dvh_vp(levels));
+        let shadow = m.world().shadow_io.as_ref().expect("shadow table built");
+        let host = shadow.lookup(LEAF_BUF_BASE_PFN).expect("mapped").0;
+        assert_eq!(
+            host,
+            LEAF_BUF_BASE_PFN + levels as u64 * STAGE_PFN_OFFSET,
+            "levels={levels}"
+        );
+    }
+}
+
+// ---- Exit-ledger invariants ---------------------------------------------
+
+#[test]
+fn dvh_timer_eliminates_guest_hypervisor_timer_interventions() {
+    let mut vanilla = Machine::build(MachineConfig::baseline(2));
+    vanilla.program_timer(0);
+    assert!(vanilla.world().stats.total_interventions() > 0);
+
+    let mut dvh = Machine::build(MachineConfig::dvh(2));
+    for _ in 0..10 {
+        dvh.program_timer(0);
+    }
+    assert_eq!(dvh.world().stats.total_interventions(), 0);
+    assert_eq!(dvh.world().stats.dvh_intercepts["vtimer"], 10);
+    // The leaf still exits — to L0 only (DVH trades guest-hypervisor
+    // exits for host-hypervisor exits, §3).
+    assert_eq!(dvh.world().stats.exits_with(2, ExitReason::MsrWrite), 10);
+}
+
+#[test]
+fn every_hardware_exit_comes_from_a_real_level() {
+    let mut m = Machine::build(MachineConfig::baseline(3));
+    m.hypercall(0);
+    m.program_timer(0);
+    m.send_ipi(0, 1);
+    for (level, _) in m.world().stats.exits.keys() {
+        assert!(*level >= 1 && *level <= 3);
+    }
+}
+
+#[test]
+fn hypercall_exit_counts_grow_with_depth() {
+    let mut counts = Vec::new();
+    for levels in 1..=3 {
+        let mut m = Machine::build(MachineConfig::baseline(levels));
+        m.hypercall(0);
+        counts.push(m.world().stats.total_exits());
+    }
+    assert_eq!(counts[0], 1, "an L1 hypercall is exactly one exit");
+    assert!(counts[1] > 10 * counts[0]);
+    assert!(counts[2] > 10 * counts[1]);
+}
+
+// ---- Timer semantics across levels ----------------------------------------
+
+#[test]
+fn vtimer_combines_tsc_offsets_across_the_chain() {
+    let mut m = Machine::build(MachineConfig::dvh(3));
+    m.world_mut().guest_program_timer(0, 12_345);
+    // The host-programmed deadline accounts for every level's offset
+    // (the synthetic per-level offsets are k * 0x1000, k starting at 1).
+    let expected_offset = m.world().combined_tsc_offset(2, 0);
+    assert_eq!(expected_offset, 0x1000 + 0x2000 + 0x3000);
+    let deadline = m
+        .world()
+        .vmcs(2, 0)
+        .read(dvh_arch::vmx::field::DVH_VTIMER_DEADLINE);
+    assert_eq!(deadline, 12_345 + expected_offset);
+}
+
+#[test]
+fn timer_fire_reaches_an_idle_nested_vm() {
+    let mut m = Machine::build(MachineConfig::dvh(2));
+    m.world_mut().guest_program_timer(0, 1_000);
+    assert_eq!(m.world().timers[0].deadline, Some(1_000));
+    m.world_mut().guest_hlt(0);
+    assert!(m.world().is_halted(0));
+    m.world_mut().fire_timer(0, true);
+    assert!(!m.world().is_halted(0));
+    assert_eq!(m.world().timers[0].deadline, None);
+}
+
+// ---- Microbenchmark / workload coherence ----------------------------------
+
+#[test]
+fn micro_and_app_results_tell_the_same_story() {
+    // If the microbenchmarks say DVH wins at L2, the application
+    // overheads must agree, for every app.
+    let mix_ids = [AppId::Apache, AppId::Memcached, AppId::NetperfRr];
+    for id in mix_ids {
+        let mix = id.mix();
+        let mut vanilla = Machine::build(MachineConfig::baseline(2));
+        let o_vanilla = run_app(&mut vanilla, &mix, 100).overhead;
+        let mut dvh = Machine::build(MachineConfig::dvh(2));
+        let o_dvh = run_app(&mut dvh, &mix, 100).overhead;
+        assert!(
+            o_dvh < o_vanilla / 2.0,
+            "{}: {o_dvh} !< {o_vanilla}/2",
+            mix.name
+        );
+    }
+}
+
+#[test]
+fn run_micro_is_deterministic_across_machines() {
+    let mut a = Machine::build(MachineConfig::baseline(2));
+    let mut b = Machine::build(MachineConfig::baseline(2));
+    assert_eq!(run_micro(&mut a, 4), run_micro(&mut b, 4));
+}
+
+// ---- Migration end-to-end ---------------------------------------------------
+
+#[test]
+fn migrated_nested_vm_memory_is_bit_identical_under_io_load() {
+    let mut m = Machine::build(MachineConfig::dvh(2));
+    // Working set with recognizable content.
+    for i in 0..40u64 {
+        let data: Vec<u8> = (0..256).map(|b| (b as u64 * i % 255) as u8).collect();
+        m.world_mut()
+            .guest_write_memory(0, Gpa::from_pfn(LEAF_BUF_BASE_PFN + i % 60), &data);
+    }
+    // Device DMA during migration rounds.
+    let mut rounds = 3;
+    let report = migrate_nested_vm(m.world_mut(), MigrationConfig::default(), |w| {
+        if rounds > 0 {
+            rounds -= 1;
+            w.external_packet_arrival(0, Frame::patterned(900, rounds as u8));
+        }
+    })
+    .unwrap();
+    assert!(report.converged);
+    assert!(report.verified, "destination must match source exactly");
+}
+
+#[test]
+fn device_state_capture_reflects_traffic_and_round_trips() {
+    let mut m = Machine::build(MachineConfig::dvh(2));
+    let s0 = migration_cap::capture_device_state(m.world_mut()).unwrap();
+    m.net_tx(0, 3, 500);
+    let s1 = migration_cap::capture_device_state(m.world_mut()).unwrap();
+    assert_ne!(s0, s1, "traffic must change captured device state");
+    assert!(migration_cap::state_matches(m.world_mut(), &s1));
+}
+
+// ---- Xen guest hypervisor ---------------------------------------------------
+
+#[test]
+fn xen_guest_hypervisor_is_slower_but_vp_still_works() {
+    let apache = AppId::Apache.mix();
+    let mut kvm = Machine::build(MachineConfig::baseline(2));
+    let o_kvm = run_app(&mut kvm, &apache, 100).overhead;
+    let mut xen = Machine::build(MachineConfig::baseline(2).with_xen_guest());
+    let o_xen = run_app(&mut xen, &apache, 100).overhead;
+    assert!(o_xen > o_kvm * 1.3, "xen {o_xen} vs kvm {o_kvm}");
+
+    // Virtual-passthrough needs no guest hypervisor awareness, so it
+    // helps Xen too (Fig. 10).
+    let mut xen_vp = Machine::build(MachineConfig::dvh_vp(2).with_xen_guest());
+    let o_vp = run_app(&mut xen_vp, &apache, 100).overhead;
+    assert!(o_vp < o_xen * 0.75, "vp {o_vp} vs xen nested {o_xen}");
+}
+
+// ---- Multi-vCPU interactions -------------------------------------------------
+
+#[test]
+fn ipis_between_all_vcpu_pairs_work() {
+    let mut m = Machine::build(MachineConfig::dvh(2));
+    let n = m.vcpus();
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                let c = m.send_ipi(src, dst);
+                assert!(c.as_u64() > 0);
+            }
+        }
+    }
+    assert_eq!(m.world().stats.total_interventions(), 0);
+}
+
+#[test]
+fn per_cpu_clocks_only_move_forward() {
+    let mut m = Machine::build(MachineConfig::baseline(2));
+    let mut last = vec![0u64; m.vcpus()];
+    for i in 0..20 {
+        m.hypercall(i % 2);
+        m.send_ipi(i % 2, (i + 1) % 2);
+        for (cpu, l) in last.iter_mut().enumerate() {
+            let now = m.now(cpu).as_u64();
+            assert!(now >= *l, "cpu{cpu} went backwards");
+            *l = now;
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests over the simulator's core invariants.
+
+use dvh_arch::apic::IcrValue;
+use dvh_core::{Machine, MachineConfig};
+use dvh_devices::vhost::{dma_read, dma_write};
+use dvh_memory::iommu_pt::{IoTable, ShadowIoTable};
+use dvh_memory::sparse::SparseMemory;
+use dvh_memory::{DirtyBitmap, Gpa, PageTable, Perms};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ICR encode/decode round-trips for every vector and destination.
+    #[test]
+    fn icr_round_trip(vector in any::<u8>(), dest in 0u32..4096) {
+        let icr = IcrValue::fixed(vector, dest);
+        prop_assert_eq!(IcrValue::decode(icr.encode()), icr);
+    }
+
+    /// A shadow I/O table lookup equals walking each stage in turn,
+    /// for arbitrary two-stage mappings.
+    #[test]
+    fn shadow_equals_sequential_translation(
+        maps in prop::collection::vec((0u64..512, 0u64..512, 0u64..512), 1..40)
+    ) {
+        let mut inner = IoTable::new();
+        let mut outer = IoTable::new();
+        for (iova, mid, out) in &maps {
+            inner.map(*iova, 0x10_000 + *mid, 1, Perms::RW);
+            outer.map(0x10_000 + *mid, 0x20_000 + *out, 1, Perms::RW);
+        }
+        let shadow = ShadowIoTable::build(&[&inner, &outer]);
+        for (iova, _, _) in &maps {
+            let step1 = inner.table().lookup(*iova).unwrap().pfn;
+            let step2 = outer.table().lookup(step1).unwrap().pfn;
+            prop_assert_eq!(shadow.lookup(*iova).unwrap().0, step2);
+        }
+    }
+
+    /// Page-table translate agrees with lookup, and never invents
+    /// mappings.
+    #[test]
+    fn pagetable_translate_matches_lookup(
+        maps in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..50),
+        probes in prop::collection::vec(0u64..10_000, 0..50),
+    ) {
+        let mut pt = PageTable::new();
+        for (from, to) in &maps {
+            pt.map(*from, *to, Perms::RW);
+        }
+        for p in probes {
+            match (pt.lookup(p), pt.translate(p, Perms::RO)) {
+                (Some(e), Ok(t)) => prop_assert_eq!(e.pfn, t.pfn),
+                (None, Err(_)) => {}
+                (l, t) => prop_assert!(false, "disagree: {:?} vs {:?}", l, t),
+            }
+        }
+    }
+
+    /// Every DMA write is dirty-logged: after arbitrary writes through
+    /// an IOMMU table, every touched page is in the log.
+    #[test]
+    fn dma_dirty_log_is_complete(
+        writes in prop::collection::vec((0u64..32, 1usize..5000), 1..20)
+    ) {
+        let mut xl = IoTable::new();
+        xl.map(0, 0x500, 40, Perms::RW);
+        let mut mem = SparseMemory::new();
+        let mut dirty = DirtyBitmap::new();
+        for (page, len) in &writes {
+            let addr = Gpa::from_pfn(*page);
+            let data = vec![0xAA; *len];
+            dma_write(&mut mem, &mut xl, addr, &data, Some(&mut dirty)).unwrap();
+            // Every host page the write touched must be logged.
+            let pages_touched = (*len as u64).div_ceil(4096) + 1;
+            for k in 0..pages_touched {
+                if *page + k < 40 && k * 4096 < *len as u64 {
+                    prop_assert!(dirty.is_dirty(0x500 + *page + k));
+                }
+            }
+        }
+    }
+
+    /// DMA read returns exactly what DMA write stored, at any offset
+    /// and length within the mapped window.
+    #[test]
+    fn dma_write_read_round_trip(
+        offset in 0u64..(8 * 4096 - 1),
+        len in 1usize..8192,
+    ) {
+        let len = len.min((16 * 4096 - offset as usize).saturating_sub(1)).max(1);
+        let mut xl = IoTable::new();
+        xl.map(0, 0x900, 32, Perms::RW);
+        let mut mem = SparseMemory::new();
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        dma_write(&mut mem, &mut xl, Gpa::new(offset), &data, None).unwrap();
+        let back = dma_read(&mem, &mut xl, Gpa::new(offset), len).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Dirty bitmap harvest returns each page exactly once, sorted.
+    #[test]
+    fn dirty_harvest_unique_and_sorted(pfns in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut b = DirtyBitmap::new();
+        for p in &pfns {
+            b.mark_pfn(*p);
+        }
+        let harvested = b.harvest();
+        let mut expect: Vec<u64> = pfns;
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(harvested, expect);
+        prop_assert!(b.is_clean());
+    }
+}
+
+proptest! {
+    // Machine-level properties are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Nested cost strictly dominates non-nested cost for every
+    /// microbenchmark-like operation, at any depth up to 3.
+    #[test]
+    fn cost_is_monotonic_in_depth(op in 0usize..3) {
+        let mut prev = 0u64;
+        for levels in 1..=3usize {
+            let mut m = Machine::build(MachineConfig::baseline(levels));
+            let c = match op {
+                0 => m.hypercall(0),
+                1 => m.program_timer(0),
+                _ => m.send_ipi(0, 1),
+            }
+            .as_u64();
+            prop_assert!(c > prev, "levels={levels} op={op}: {c} <= {prev}");
+            prev = c;
+        }
+    }
+
+    /// DVH never performs worse than vanilla nested virtualization for
+    /// the operations it accelerates, at any supported depth.
+    #[test]
+    fn dvh_never_slower_for_accelerated_ops(levels in 2usize..4) {
+        let mut vanilla = Machine::build(MachineConfig::baseline(levels));
+        let mut dvh = Machine::build(MachineConfig::dvh(levels));
+        prop_assert!(dvh.program_timer(0) < vanilla.program_timer(0));
+        prop_assert!(dvh.send_ipi(0, 1) < vanilla.send_ipi(0, 1));
+        prop_assert!(dvh.device_notify(0) < vanilla.device_notify(0));
+        prop_assert!(dvh.idle_round(0) < vanilla.idle_round(0));
+    }
+
+    /// The simulator is deterministic: identical configurations produce
+    /// identical cycle counts for identical operation sequences.
+    #[test]
+    fn determinism(seq in prop::collection::vec(0usize..4, 1..12)) {
+        let run = |seq: &[usize]| {
+            let mut m = Machine::build(MachineConfig::dvh(2));
+            for &op in seq {
+                match op {
+                    0 => { m.hypercall(0); }
+                    1 => { m.program_timer(0); }
+                    2 => { m.send_ipi(0, 1); }
+                    _ => { m.net_tx(0, 1, 700); }
+                }
+            }
+            (m.now(0), m.now(1), m.world().stats.total_exits())
+        };
+        prop_assert_eq!(run(&seq), run(&seq));
+    }
+
+    /// The VCIMT really routes: whatever permutation the guest
+    /// hypervisor programs, IPIs land on the mapped physical CPU.
+    #[test]
+    fn vcimt_routes_to_programmed_destination(dest in 1usize..4) {
+        use dvh_core::vipi::VirtualIpis;
+        use dvh_core::capability::enable_everywhere;
+        use dvh_arch::vmx::ctrl;
+        use dvh_hypervisor::{World, WorldConfig};
+        use dvh_arch::costs::CostModel;
+
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        enable_everywhere(&mut w, ctrl::dvh::VIRTUAL_IPI);
+        let mut ext = VirtualIpis::new(0);
+        ext.vcimt.set(1, dest as u32); // nested vCPU 1 -> PI desc `dest`
+        w.register_extension(Box::new(ext));
+        let before = w.now(dest);
+        w.guest_send_ipi(0, 1, 0x77);
+        prop_assert!(w.now(dest) > before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LAPIC conservation: every accepted vector is eventually
+    /// dispatched exactly once and EOI'd exactly once, in strict
+    /// priority order within each drain.
+    #[test]
+    fn lapic_accept_dispatch_eoi_conservation(vectors in prop::collection::vec(16u8..=255, 1..40)) {
+        use dvh_arch::apic::LapicState;
+        let mut l = LapicState::new();
+        let mut unique: Vec<u8> = vectors.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for v in &vectors {
+            l.accept(*v);
+        }
+        let mut seen = Vec::new();
+        while let Some(v) = l.dispatch() {
+            l.eoi();
+            seen.push(v);
+        }
+        // Highest priority first, each unique vector exactly once.
+        let mut expect = unique;
+        expect.reverse();
+        prop_assert_eq!(seen, expect);
+        prop_assert!(!l.has_pending());
+        prop_assert!(!l.in_service());
+    }
+
+    /// SGI encode/decode round-trips for all valid INTIDs/targets.
+    #[test]
+    fn sgi_round_trip(intid in 0u8..=15, target in 0u32..64) {
+        use dvh_arch::arm::SgiValue;
+        let sgi = SgiValue::new(intid, target);
+        prop_assert_eq!(SgiValue::decode(sgi.encode()), sgi);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Interrupt conservation across pause/resume: no vector delivered
+    /// while paused is ever lost, regardless of how many arrive.
+    #[test]
+    fn pause_resume_conserves_interrupts(vectors in prop::collection::vec(32u8..=200, 1..12)) {
+        use dvh_hypervisor::IrqPath;
+        let mut m = Machine::build(MachineConfig::dvh(2));
+        let base = m.world().lapic[0].accepted_count();
+        m.world_mut().pause_vcpu(0);
+        let mut unique = vectors.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for v in &vectors {
+            let t = m.now(1);
+            m.world_mut().deliver_leaf_interrupt(0, *v, t, IrqPath::PostedDirect);
+        }
+        prop_assert_eq!(m.world().lapic[0].accepted_count(), base);
+        m.world_mut().resume_vcpu(0);
+        prop_assert_eq!(
+            m.world().lapic[0].accepted_count(),
+            base + unique.len() as u64
+        );
+        prop_assert_eq!(m.world().lapic[0].eoi_count(), base + unique.len() as u64);
+    }
+
+    /// EPT population is complete and canonical for arbitrary pages at
+    /// any depth.
+    #[test]
+    fn ept_population_matches_canonical_layout(
+        levels in 1usize..4,
+        pages in prop::collection::vec(0u64..5_000, 1..10),
+    ) {
+        let mut m = Machine::build(MachineConfig::baseline(levels));
+        for p in &pages {
+            m.world_mut().guest_touch_page(0, *p);
+        }
+        for p in &pages {
+            prop_assert!(m.world().leaf_page_mapped(*p));
+            prop_assert_eq!(
+                m.world_mut().walk_leaf_to_host(*p),
+                Some(*p + levels as u64 * dvh_hypervisor::world::STAGE_PFN_OFFSET)
+            );
+        }
+    }
+}
