@@ -17,6 +17,7 @@
 
 mod exit;
 pub mod field;
+pub mod validate;
 
 pub use exit::{ExitQualification, ExitReason};
 

@@ -1,0 +1,261 @@
+//! VM-entry consistency predicates, modeled on Intel SDM Vol. 3
+//! §26.2/§26.3 ("Checks on VMX Controls and Host-State / Guest-State
+//! Areas"), restricted to the control combinations this simulator
+//! actually models.
+//!
+//! Real hardware refuses a VM entry whose VMCS is internally
+//! inconsistent; this simulator historically just *assumed*
+//! consistency. These predicates make the assumption checkable: the
+//! hypervisor crate calls [`validate_vmentry`] on every simulated VM
+//! entry when consistency checking is enabled, and the `dvh-checker`
+//! crate runs the same predicates over a whole VMCS hierarchy.
+
+use super::{cap, ctrl, field, Vmcs};
+use std::fmt;
+
+/// The lowest interrupt vector usable for posted-interrupt
+/// notification: vectors 0–31 are architecturally reserved for
+/// exceptions.
+pub const FIRST_VALID_NOTIFICATION_VECTOR: u64 = 32;
+
+/// One VM-entry consistency violation found in a VMCS.
+///
+/// Reported with the field encoding whose value (or absence) broke the
+/// rule; the caller adds the owning level and vCPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmentryViolation {
+    /// Encoding of the VMCS field at fault.
+    pub field: u32,
+    /// Stable, kebab-case rule identifier (one per invariant).
+    pub rule: &'static str,
+    /// Human-readable description of the inconsistency.
+    pub detail: String,
+}
+
+impl fmt::Display for VmentryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] field {:#06x}: {}",
+            self.rule, self.field, self.detail
+        )
+    }
+}
+
+/// Validates the control/state combinations of one VMCS as hardware
+/// would at VM entry.
+///
+/// `advertised_dvh_caps` is the DVH capability word the platform
+/// advertises to this VMCS's owner (bits from [`cap`]); DVH execution
+/// controls may only enable features the platform advertised.
+///
+/// Returns every violation found (empty = the entry is consistent).
+pub fn validate_vmentry(vmcs: &Vmcs, advertised_dvh_caps: u64) -> Vec<VmentryViolation> {
+    let mut v = Vec::new();
+    let pin = vmcs.read(field::PIN_BASED_EXEC_CONTROLS);
+    let cpu = vmcs.read(field::CPU_BASED_EXEC_CONTROLS);
+    let secondary = vmcs.read(field::SECONDARY_EXEC_CONTROLS);
+
+    // SDM 26.2.1.1: secondary controls may only be consulted when the
+    // primary controls activate them.
+    if secondary != 0 && cpu & ctrl::cpu::SECONDARY_CONTROLS == 0 {
+        v.push(VmentryViolation {
+            field: field::SECONDARY_EXEC_CONTROLS,
+            rule: "secondary-controls-activated",
+            detail: format!(
+                "secondary execution controls {secondary:#x} set without the \
+                 activate-secondary-controls bit in the primary controls"
+            ),
+        });
+    }
+
+    // SDM 26.2.1.1: posted interrupts require a valid (non-exception)
+    // notification vector and a non-null descriptor address.
+    if pin & ctrl::pin::POSTED_INTERRUPTS != 0 {
+        let vector = vmcs.read(field::POSTED_INTR_NOTIFICATION_VECTOR);
+        if !(FIRST_VALID_NOTIFICATION_VECTOR..=255).contains(&vector) {
+            v.push(VmentryViolation {
+                field: field::POSTED_INTR_NOTIFICATION_VECTOR,
+                rule: "posted-interrupt-vector",
+                detail: format!(
+                    "posted-interrupt processing enabled with invalid \
+                     notification vector {vector:#x} (must be 32..=255)"
+                ),
+            });
+        }
+        if vmcs.read(field::POSTED_INTR_DESC_ADDR) == 0 {
+            v.push(VmentryViolation {
+                field: field::POSTED_INTR_DESC_ADDR,
+                rule: "posted-interrupt-descriptor",
+                detail: "posted-interrupt processing enabled with a null \
+                         descriptor address"
+                    .into(),
+            });
+        }
+    }
+
+    // SDM 26.2.1.1 / 24.10: VMCS shadowing requires a usable link
+    // pointer for the shadow VMCS.
+    if secondary & ctrl::secondary::SHADOW_VMCS != 0 && vmcs.read(field::VMCS_LINK_POINTER) == 0 {
+        v.push(VmentryViolation {
+            field: field::VMCS_LINK_POINTER,
+            rule: "shadow-vmcs-link-pointer",
+            detail: "VMCS shadowing enabled with a null VMCS link pointer".into(),
+        });
+    }
+
+    // SDM 26.2.1.1: EPT enabled requires a programmed EPT pointer —
+    // in this simulator EPT exits are possible exactly when the
+    // control is set, so a null EPTP means EPT faults would walk a
+    // nonexistent hierarchy.
+    if secondary & ctrl::secondary::ENABLE_EPT != 0 && vmcs.read(field::EPT_POINTER) == 0 {
+        v.push(VmentryViolation {
+            field: field::EPT_POINTER,
+            rule: "ept-pointer",
+            detail: "EPT enabled with a null EPT pointer".into(),
+        });
+    }
+
+    // DVH (§3.2–3.3): a hypervisor may only enable virtual-hardware
+    // features the platform advertised to it via IA32_VMX_DVH_CAP.
+    // The enable bits are defined 1:1 with the capability bits.
+    let dvh = vmcs.read(field::DVH_EXEC_CONTROLS);
+    let unadvertised = dvh & !advertised_dvh_caps;
+    if unadvertised != 0 {
+        v.push(VmentryViolation {
+            field: field::DVH_EXEC_CONTROLS,
+            rule: "dvh-capability",
+            detail: format!(
+                "DVH execution controls enable unadvertised features \
+                 (controls {dvh:#x}, advertised {advertised_dvh_caps:#x}, \
+                 offending bits {unadvertised:#x})"
+            ),
+        });
+    }
+    if vmcs.read(field::DVH_VCIMTAR) != 0 && advertised_dvh_caps & cap::VCIMTAR == 0 {
+        v.push(VmentryViolation {
+            field: field::DVH_VCIMTAR,
+            rule: "dvh-capability",
+            detail: "VCIMT address register programmed without the VCIMTAR \
+                     capability"
+                .into(),
+        });
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consistent_vmcs() -> Vmcs {
+        let mut m = Vmcs::new();
+        m.set_bits(
+            field::CPU_BASED_EXEC_CONTROLS,
+            ctrl::cpu::SECONDARY_CONTROLS,
+        );
+        m.set_bits(field::SECONDARY_EXEC_CONTROLS, ctrl::secondary::ENABLE_EPT);
+        m.write(field::EPT_POINTER, 0x5000);
+        m.set_bits(field::PIN_BASED_EXEC_CONTROLS, ctrl::pin::POSTED_INTERRUPTS);
+        m.write(field::POSTED_INTR_NOTIFICATION_VECTOR, 0xF2);
+        m.write(field::POSTED_INTR_DESC_ADDR, 0x3000);
+        m
+    }
+
+    #[test]
+    fn consistent_vmcs_passes() {
+        assert!(validate_vmentry(&consistent_vmcs(), cap::VIRTUAL_TIMER).is_empty());
+    }
+
+    #[test]
+    fn empty_vmcs_passes() {
+        // A cleared VMCS enables nothing, so nothing can be inconsistent.
+        assert!(validate_vmentry(&Vmcs::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn null_pi_descriptor_flagged() {
+        let mut m = consistent_vmcs();
+        m.write(field::POSTED_INTR_DESC_ADDR, 0);
+        let v = validate_vmentry(&m, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "posted-interrupt-descriptor");
+        assert_eq!(v[0].field, field::POSTED_INTR_DESC_ADDR);
+    }
+
+    #[test]
+    fn exception_range_notification_vector_flagged() {
+        let mut m = consistent_vmcs();
+        m.write(field::POSTED_INTR_NOTIFICATION_VECTOR, 14); // #PF
+        let v = validate_vmentry(&m, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "posted-interrupt-vector");
+    }
+
+    #[test]
+    fn shadow_without_link_pointer_flagged() {
+        let mut m = consistent_vmcs();
+        m.set_bits(field::SECONDARY_EXEC_CONTROLS, ctrl::secondary::SHADOW_VMCS);
+        let v = validate_vmentry(&m, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "shadow-vmcs-link-pointer");
+        m.write(field::VMCS_LINK_POINTER, 0x7000);
+        assert!(validate_vmentry(&m, 0).is_empty());
+    }
+
+    #[test]
+    fn ept_without_pointer_flagged() {
+        let mut m = consistent_vmcs();
+        m.write(field::EPT_POINTER, 0);
+        let v = validate_vmentry(&m, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ept-pointer");
+    }
+
+    #[test]
+    fn secondary_without_activation_flagged() {
+        let mut m = consistent_vmcs();
+        m.clear_bits(
+            field::CPU_BASED_EXEC_CONTROLS,
+            ctrl::cpu::SECONDARY_CONTROLS,
+        );
+        let v = validate_vmentry(&m, 0);
+        assert_eq!(v[0].rule, "secondary-controls-activated");
+    }
+
+    #[test]
+    fn unadvertised_dvh_controls_flagged() {
+        let mut m = consistent_vmcs();
+        m.set_bits(
+            field::DVH_EXEC_CONTROLS,
+            ctrl::dvh::VIRTUAL_TIMER | ctrl::dvh::VIRTUAL_IPI,
+        );
+        // Only the timer is advertised: the IPI bit is a violation.
+        let v = validate_vmentry(&m, cap::VIRTUAL_TIMER);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "dvh-capability");
+        assert!(v[0].detail.contains("offending"));
+        // Advertising both fixes it.
+        assert!(validate_vmentry(&m, cap::VIRTUAL_TIMER | cap::VIRTUAL_IPI).is_empty());
+    }
+
+    #[test]
+    fn vcimtar_requires_capability() {
+        let mut m = consistent_vmcs();
+        m.write(field::DVH_VCIMTAR, 0x9000);
+        let v = validate_vmentry(&m, cap::VIRTUAL_TIMER | cap::VIRTUAL_IPI);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "dvh-capability");
+        assert!(validate_vmentry(&m, cap::VCIMTAR).is_empty());
+    }
+
+    #[test]
+    fn violations_display_rule_and_field() {
+        let mut m = consistent_vmcs();
+        m.write(field::POSTED_INTR_DESC_ADDR, 0);
+        let s = validate_vmentry(&m, 0)[0].to_string();
+        assert!(s.contains("posted-interrupt-descriptor"));
+        assert!(s.contains("0x2016"));
+    }
+}

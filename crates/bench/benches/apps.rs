@@ -1,17 +1,16 @@
-//! Criterion benches over the Figure 7/8/9/10 application
-//! experiments: each bench runs one application's transaction loop on
-//! one configuration. The harness binaries print the paper-style
-//! overhead tables; these track simulator throughput.
+//! Benches over the Figure 7/8/9/10 application experiments: each
+//! bench runs one application's transaction loop on one
+//! configuration. The harness binaries print the paper-style overhead
+//! tables; these track simulator throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dvh_bench::tinybench::Group;
 use dvh_core::{Machine, MachineConfig};
 use dvh_workloads::{run_app, AppId};
-use std::hint::black_box;
 
 const TXNS: u32 = 50;
 
-fn bench_fig7_configs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7/apache");
+fn main() {
+    let fig7 = Group::new("fig7/apache").sample_size(15).iters(2);
     let mix = AppId::Apache.mix();
     for (name, cfg) in [
         ("vm", MachineConfig::baseline(1)),
@@ -20,66 +19,40 @@ fn bench_fig7_configs(c: &mut Criterion) {
         ("dvh_vp", MachineConfig::dvh_vp(2)),
         ("dvh", MachineConfig::dvh(2)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::build(cfg.clone());
-                black_box(run_app(&mut m, &mix, TXNS))
-            })
+        fig7.bench(name, || {
+            let mut m = Machine::build(cfg.clone());
+            run_app(&mut m, &mix, TXNS)
         });
     }
-    g.finish();
-}
 
-fn bench_all_apps_dvh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7/all_apps_dvh");
+    let all_apps = Group::new("fig7/all_apps_dvh").sample_size(15).iters(2);
     for app in AppId::ALL {
         let mix = app.mix();
-        g.bench_function(mix.name, |b| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineConfig::dvh(2));
-                black_box(run_app(&mut m, &mix, TXNS))
-            })
+        all_apps.bench(mix.name, || {
+            let mut m = Machine::build(MachineConfig::dvh(2));
+            run_app(&mut m, &mix, TXNS)
         });
     }
-    g.finish();
-}
 
-fn bench_fig9_l3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9/memcached_l3");
-    g.sample_size(10);
+    let fig9 = Group::new("fig9/memcached_l3").sample_size(10).iters(2);
     for (name, cfg) in [
         ("l3", MachineConfig::baseline(3)),
         ("l3_dvh", MachineConfig::dvh(3)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::build(cfg.clone());
-                black_box(run_app(&mut m, &AppId::Memcached.mix(), TXNS))
-            })
+        fig9.bench(name, || {
+            let mut m = Machine::build(cfg.clone());
+            run_app(&mut m, &AppId::Memcached.mix(), TXNS)
         });
     }
-    g.finish();
-}
 
-fn bench_fig10_xen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10/xen");
+    let fig10 = Group::new("fig10/xen").sample_size(15).iters(2);
     for (name, cfg) in [
         ("nested_xen", MachineConfig::baseline(2).with_xen_guest()),
         ("dvh_vp_xen", MachineConfig::dvh_vp(2).with_xen_guest()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::build(cfg.clone());
-                black_box(run_app(&mut m, &AppId::Memcached.mix(), TXNS))
-            })
+        fig10.bench(name, || {
+            let mut m = Machine::build(cfg.clone());
+            run_app(&mut m, &AppId::Memcached.mix(), TXNS)
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_fig7_configs, bench_all_apps_dvh, bench_fig9_l3, bench_fig10_xen
-}
-criterion_main!(benches);

@@ -1,12 +1,11 @@
-//! Criterion benches over the Table 3 microbenchmark experiments: one
-//! bench per (microbenchmark, configuration) cell, measuring the
-//! simulator's execution of the full trap-and-emulate chain. Use the
-//! `table3` harness binary for the paper-style cycle numbers; these
-//! benches track simulator performance regressions.
+//! Benches over the Table 3 microbenchmark experiments: one bench per
+//! (microbenchmark, configuration) cell, measuring the simulator's
+//! execution of the full trap-and-emulate chain. Use the `table3`
+//! harness binary for the paper-style cycle numbers; these benches
+//! track simulator performance regressions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dvh_bench::tinybench::Group;
 use dvh_core::{Machine, MachineConfig};
-use std::hint::black_box;
 
 type ConfigSet = Vec<(&'static str, fn() -> MachineConfig)>;
 
@@ -20,45 +19,25 @@ fn configs() -> ConfigSet {
     ]
 }
 
-fn bench_hypercall(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3/hypercall");
+fn main() {
+    let hypercall = Group::new("table3/hypercall").sample_size(20);
     for (name, cfg) in configs() {
         let mut m = Machine::build(cfg());
-        g.bench_function(name, |b| b.iter(|| black_box(m.hypercall(0))));
+        hypercall.bench(name, || m.hypercall(0));
     }
-    g.finish();
-}
-
-fn bench_dev_notify(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3/dev_notify");
+    let dev_notify = Group::new("table3/dev_notify").sample_size(20);
     for (name, cfg) in configs() {
         let mut m = Machine::build(cfg());
-        g.bench_function(name, |b| b.iter(|| black_box(m.device_notify(0))));
+        dev_notify.bench(name, || m.device_notify(0));
     }
-    g.finish();
-}
-
-fn bench_program_timer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3/program_timer");
+    let program_timer = Group::new("table3/program_timer").sample_size(20);
     for (name, cfg) in configs() {
         let mut m = Machine::build(cfg());
-        g.bench_function(name, |b| b.iter(|| black_box(m.program_timer(0))));
+        program_timer.bench(name, || m.program_timer(0));
     }
-    g.finish();
-}
-
-fn bench_send_ipi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3/send_ipi");
+    let send_ipi = Group::new("table3/send_ipi").sample_size(20);
     for (name, cfg) in configs() {
         let mut m = Machine::build(cfg());
-        g.bench_function(name, |b| b.iter(|| black_box(m.send_ipi(0, 1))));
+        send_ipi.bench(name, || m.send_ipi(0, 1));
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hypercall, bench_dev_notify, bench_program_timer, bench_send_ipi
-}
-criterion_main!(benches);

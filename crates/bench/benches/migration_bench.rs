@@ -1,49 +1,35 @@
-//! Criterion benches for the migration engine (the §4 migration
-//! experiment) and the recursion extension.
+//! Benches for the migration engine (the §4 migration experiment) and
+//! the recursion extension.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dvh_bench::tinybench::Group;
 use dvh_core::{Machine, MachineConfig};
 use dvh_hypervisor::world::LEAF_BUF_BASE_PFN;
 use dvh_memory::Gpa;
 use dvh_migration::{migrate_nested_vm, MigrationConfig};
-use std::hint::black_box;
 
-fn bench_migration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("migration");
-    g.sample_size(20);
+fn main() {
+    let migration = Group::new("migration").sample_size(20).iters(2);
     for (name, include_hv) in [("nested_vm", false), ("nested_vm_with_hv", true)] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::build(MachineConfig::dvh(2));
-                for i in 0..32u64 {
-                    m.world_mut().guest_write_memory(
-                        0,
-                        Gpa::from_pfn(LEAF_BUF_BASE_PFN + i % 60),
-                        &[i as u8; 128],
-                    );
-                }
-                let cfg = MigrationConfig {
-                    include_guest_hypervisor: include_hv,
-                    ..MigrationConfig::default()
-                };
-                black_box(migrate_nested_vm(m.world_mut(), cfg, |_| {}).unwrap())
-            })
+        migration.bench(name, || {
+            let mut m = Machine::build(MachineConfig::dvh(2));
+            for i in 0..32u64 {
+                m.world_mut().guest_write_memory(
+                    0,
+                    Gpa::from_pfn(LEAF_BUF_BASE_PFN + i % 60),
+                    &[i as u8; 128],
+                );
+            }
+            let cfg = MigrationConfig {
+                include_guest_hypervisor: include_hv,
+                ..MigrationConfig::default()
+            };
+            migrate_nested_vm(m.world_mut(), cfg, |_| {}).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_recursion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("recursion/hypercall");
-    g.sample_size(10);
+    let recursion = Group::new("recursion/hypercall").sample_size(10);
     for levels in 1..=4usize {
         let mut m = Machine::build(MachineConfig::baseline(levels));
-        g.bench_function(format!("l{levels}"), |b| {
-            b.iter(|| black_box(m.hypercall(0)))
-        });
+        recursion.bench(&format!("l{levels}"), || m.hypercall(0));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_migration, bench_recursion);
-criterion_main!(benches);

@@ -14,10 +14,12 @@
 //! | `cargo run -p dvh-bench --bin migration` | §4 migration experiment |
 //! | `cargo run -p dvh-bench --bin recursion` | §3.5 recursion beyond L3 (extension) |
 //!
-//! Criterion benches (`cargo bench`) measure the same operations for
-//! regression tracking of the simulator itself.
+//! Plain benches (`cargo bench`, using the in-tree [`tinybench`]
+//! runner) measure the same operations for regression tracking of the
+//! simulator itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod tinybench;

@@ -1,0 +1,80 @@
+//! A minimal, dependency-free benchmark runner used by the `cargo
+//! bench` targets.
+//!
+//! The registry this workspace builds against is offline, so the
+//! benches cannot use an external harness; this module provides the
+//! small subset we need: named groups, warmup, wall-clock sampling,
+//! and a median/min/max report. Results are printed to stdout in a
+//! stable one-line-per-bench format so regressions are easy to diff.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark group, printed with a `group/name` prefix per bench.
+pub struct Group {
+    prefix: &'static str,
+    samples: usize,
+    iters_per_sample: u32,
+}
+
+impl Group {
+    /// Creates a group with default sampling (20 samples).
+    pub fn new(prefix: &'static str) -> Group {
+        Group {
+            prefix,
+            samples: 20,
+            iters_per_sample: 10,
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(mut self, samples: usize) -> Group {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Overrides the iterations averaged inside each sample.
+    pub fn iters(mut self, iters: u32) -> Group {
+        self.iters_per_sample = iters.max(1);
+        self
+    }
+
+    /// Times `f`, printing `prefix/name  median min max` in
+    /// nanoseconds per iteration.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup: one untimed sample.
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let mut per_iter_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() / u128::from(self.iters_per_sample));
+        }
+        per_iter_ns.sort_unstable();
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        println!(
+            "{}/{name:<24} median {median:>12} ns/iter  (min {min}, max {max})",
+            self.prefix
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = Group::new("self").sample_size(3).iters(2);
+        let mut calls = 0u32;
+        g.bench("noop", || calls += 1);
+        // warmup (2) + 3 samples x 2 iters
+        assert_eq!(calls, 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! The checker harness: runs representative workloads with VM-entry
+//! checking and tracing enabled, then runs every pass. This is what
+//! `dvh check` executes.
+
+use crate::source_lint::lint_sources;
+use crate::trace_lint::{lint_trace, TraceContext};
+use crate::{Report, Violation};
+use dvh_core::{Machine, MachineConfig};
+use std::path::Path;
+
+/// Trace capacity used by the harness — large enough that no harness
+/// workload ever truncates (truncation is itself a violation).
+pub const TRACE_CAPACITY: usize = 1 << 20;
+
+/// The paper's Fig. 7 configuration matrix (the default `dvh check`
+/// workload set).
+pub fn fig7_configs() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("fig7/vm", MachineConfig::baseline(1)),
+        ("fig7/vm-pt", MachineConfig::passthrough(1)),
+        ("fig7/nested", MachineConfig::baseline(2)),
+        ("fig7/nested-pt", MachineConfig::passthrough(2)),
+        ("fig7/nested-dvh-vp", MachineConfig::dvh_vp(2)),
+        ("fig7/nested-dvh", MachineConfig::dvh(2)),
+    ]
+}
+
+/// A workload that touches every mechanism the invariants speak about:
+/// hypercalls (reflection), timers and IPIs (DVH interception), MMIO
+/// doorbells (I/O cascade), network and block I/O, and idle rounds
+/// (halt chains and wakeups).
+pub fn exercise(m: &mut Machine) {
+    m.hypercall(0);
+    m.program_timer(0);
+    if m.vcpus() > 1 {
+        m.send_ipi(0, 1);
+    }
+    m.device_notify(0);
+    m.net_tx(0, 4, 1500);
+    m.net_rx(0, 1500);
+    m.blk_io(0, 4096, true);
+    m.idle_round(0);
+    m.timer_sleep_round(0);
+    m.hypercall(0);
+}
+
+/// Builds a machine for `config`, arms checking and tracing, runs the
+/// standard workload, and returns all vmentry- and trace-pass
+/// violations (empty = certified).
+pub fn check_machine(config: MachineConfig) -> Vec<Violation> {
+    let mut m = Machine::build(config);
+    {
+        let w = m.world_mut();
+        w.enable_tracing(TRACE_CAPACITY);
+        w.enable_vmentry_checks();
+        // Stats and trace must cover the same window for cycle
+        // conservation to be exact.
+        w.reset_stats();
+    }
+    exercise(&mut m);
+    let w = m.world_mut();
+    let mut out = crate::vmentry::check_world(w);
+    let ctx = TraceContext::for_world(w);
+    out.extend(lint_trace(w.trace_events(), &ctx));
+    out
+}
+
+/// Runs all three passes: the vmentry and trace passes over every
+/// Fig. 7 configuration, and the source lint over `source_root` when
+/// given (pass the repo root; `None` skips the source pass, e.g. when
+/// running from an installed binary with no checkout around).
+pub fn run_all(source_root: Option<&Path>) -> std::io::Result<Report> {
+    let mut report = Report::new();
+    for (name, config) in fig7_configs() {
+        let violations = check_machine(config);
+        report.add(
+            format!("vmentry+trace {name}: {} violation(s)", violations.len()),
+            name,
+            violations,
+        );
+    }
+    if let Some(root) = source_root {
+        let outcome = lint_sources(root)?;
+        report.add(
+            format!(
+                "source lint: {} files, {} violation(s)",
+                outcome.files_scanned,
+                outcome.violations.len()
+            ),
+            "",
+            outcome.violations,
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fig7_config_is_certified() {
+        for (name, config) in fig7_configs() {
+            let violations = check_machine(config);
+            assert!(violations.is_empty(), "{name}: {:?}", violations);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! # dvh-checker
+//!
+//! Static analysis and invariant verification for the DVH simulator's
+//! exit engine. Three passes, all runnable from `dvh check` and from
+//! the test suite:
+//!
+//! 1. **VM-entry consistency** ([`vmentry`]): every simulated VM entry
+//!    validates the entered VMCS against Intel SDM §26-style rules
+//!    (posted-interrupt descriptor and vector, shadow-VMCS link
+//!    pointer, secondary-control activation, EPT pointer, DVH
+//!    capability gating), reporting violations with the owning level
+//!    and field encoding.
+//! 2. **Trace linting** ([`trace_lint`]): a pass over the
+//!    [`dvh_hypervisor::TraceEvent`] log proving structural invariants
+//!    of the exit engine — well-formed exit/intervention nesting,
+//!    per-CPU time monotonicity, bounded reflection depth, exact cycle
+//!    conservation against the [`dvh_hypervisor::RunStats`] ledger, no
+//!    reflection of shadowed VMCS accesses, and no reflection after a
+//!    DVH interception.
+//! 3. **Source linting** ([`source_lint`]): std-only lints over
+//!    `crates/*/src` for project-specific hazards — load-bearing
+//!    `debug_assert!` in exit-path code, raw VMCS container indexing
+//!    that bypasses the tracked accessors, and unchecked level-keyed
+//!    indexing in hypervisor dispatch paths.
+//!
+//! The [`harness`] module ties the first two passes to representative
+//! workloads (the paper's Fig. 7 configurations) for `dvh check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod source_lint;
+pub mod trace_lint;
+pub mod vmentry;
+
+use std::fmt;
+
+/// Which checker pass produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// VM-entry consistency checking.
+    Vmentry,
+    /// Trace-log invariant linting.
+    Trace,
+    /// Source-code linting.
+    Source,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Vmentry => "vmentry",
+            Pass::Trace => "trace",
+            Pass::Source => "source",
+        })
+    }
+}
+
+/// One invariant violation found by any pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The pass that found it.
+    pub pass: Pass,
+    /// Stable kebab-case rule identifier.
+    pub rule: &'static str,
+    /// Where: "L1 cpu0 field 0x2016", "event #42", or "file:line".
+    pub location: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {}: {}",
+            self.pass, self.rule, self.location, self.detail
+        )
+    }
+}
+
+/// The combined result of a checker run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// One human-readable line per pass/workload executed.
+    pub ran: Vec<String>,
+    /// Everything found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Whether every pass came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records that a pass ran, with its violations; `scope` prefixes
+    /// each violation's location so reports from multiple workloads
+    /// stay attributable.
+    pub fn add(&mut self, ran: String, scope: &str, violations: Vec<Violation>) {
+        self.ran.push(ran);
+        self.violations.extend(violations.into_iter().map(|mut v| {
+            if !scope.is_empty() {
+                v.location = format!("{scope}: {}", v.location);
+            }
+            v
+        }));
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.ran {
+            writeln!(f, "  {line}")?;
+        }
+        if self.is_clean() {
+            writeln!(f, "dvh-checker: all invariants hold")
+        } else {
+            for v in &self.violations {
+                writeln!(f, "{v}")?;
+            }
+            writeln!(
+                f,
+                "dvh-checker: {} violation(s) found",
+                self.violations.len()
+            )
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The VM-entry consistency pass: adapts the hypervisor's entry-time
+//! findings (see `dvh_hypervisor::check`) and the whole-hierarchy
+//! static sweep into checker [`Violation`]s.
+
+use crate::{Pass, Violation};
+use dvh_hypervisor::{VmentryFinding, World};
+use std::collections::BTreeSet;
+
+fn to_violation(f: VmentryFinding) -> Violation {
+    Violation {
+        pass: Pass::Vmentry,
+        rule: f.violation.rule,
+        location: format!("L{} cpu{} field {:#06x}", f.level, f.cpu, f.violation.field),
+        detail: f.violation.detail,
+    }
+}
+
+/// Runs the VM-entry pass over `w`: a static sweep of every VMCS in
+/// the hierarchy, plus all findings collected dynamically while the
+/// world ran with [`World::enable_vmentry_checks`] on. Duplicate
+/// findings (the same broken field seen at every entry) are collapsed.
+pub fn check_world(w: &mut World) -> Vec<Violation> {
+    let mut findings = w.validate_all_vmcs();
+    findings.extend(w.take_vmentry_findings());
+    let mut seen = BTreeSet::new();
+    findings
+        .into_iter()
+        .filter(|f| seen.insert((f.level, f.cpu, f.violation.rule, f.violation.field)))
+        .map(to_violation)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvh_arch::costs::CostModel;
+    use dvh_arch::vmx::field;
+    use dvh_hypervisor::WorldConfig;
+
+    #[test]
+    fn clean_world_reports_nothing() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(3));
+        w.enable_vmentry_checks();
+        w.guest_hypercall(0);
+        assert!(check_world(&mut w).is_empty());
+    }
+
+    #[test]
+    fn dynamic_findings_are_collapsed() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.enable_vmentry_checks();
+        w.vmcs_mut(0, 0).write(field::EPT_POINTER, 0);
+        // Many entries, each seeing the same broken field...
+        w.guest_hypercall(0);
+        w.guest_hypercall(0);
+        let vs = check_world(&mut w);
+        // ...reported once, with level and field encoding.
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "ept-pointer");
+        assert!(vs[0].location.contains("L0 cpu0"));
+        assert!(vs[0].location.contains("0x201a"));
+    }
+}

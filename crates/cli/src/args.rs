@@ -132,6 +132,11 @@ pub enum Command {
         /// VM configuration.
         config: CliConfig,
     },
+    /// Run the dvh-checker invariant passes.
+    Check {
+        /// Repo root for the source-lint pass; `None` skips it.
+        source_root: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -265,6 +270,37 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Sweep { figure })
         }
+        "check" => {
+            // check gates CI, so unlike the exploratory subcommands it
+            // rejects anything it does not understand: a typo'd flag
+            // silently running the defaults would weaken the gate.
+            let rest = opts.rest;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--no-source" => i += 1,
+                    "--source-root" => {
+                        if rest.get(i + 1).is_none() {
+                            return Err(ParseError("--source-root expects a directory".into()));
+                        }
+                        i += 2;
+                    }
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown flag '{other}' for check (expected \
+                             [--source-root DIR] [--no-source])"
+                        )))
+                    }
+                }
+            }
+            Ok(Command::Check {
+                source_root: if opts.has("--no-source") {
+                    None
+                } else {
+                    Some(opts.value_of("--source-root").unwrap_or(".").to_string())
+                },
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'"))),
     }
@@ -284,6 +320,7 @@ USAGE:
   dvh explain [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
   dvh sweep   [--figure 7|8|9|10]
   dvh trace   [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
+  dvh check   [--source-root DIR] [--no-source]
   dvh help
 ";
 
@@ -381,5 +418,28 @@ mod tests {
     #[test]
     fn empty_args_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_check_variants() {
+        assert_eq!(
+            parse(&v(&["check"])).unwrap(),
+            Command::Check {
+                source_root: Some(".".into())
+            }
+        );
+        assert_eq!(
+            parse(&v(&["check", "--source-root", "/tmp/repo"])).unwrap(),
+            Command::Check {
+                source_root: Some("/tmp/repo".into())
+            }
+        );
+        assert_eq!(
+            parse(&v(&["check", "--no-source"])).unwrap(),
+            Command::Check { source_root: None }
+        );
+        // check is a CI gate: it rejects what it does not understand.
+        assert!(parse(&v(&["check", "--bogus"])).is_err());
+        assert!(parse(&v(&["check", "--source-root"])).is_err());
     }
 }

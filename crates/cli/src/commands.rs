@@ -197,6 +197,20 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             }
             Ok(())
         }
+        Command::Check { source_root } => {
+            let root = source_root.map(std::path::PathBuf::from);
+            let report = dvh_checker::harness::run_all(root.as_deref())
+                .map_err(|e| format!("source lint failed: {e}"))?;
+            w(out, report.to_string())?;
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} invariant violation(s)",
+                    report.violations.len()
+                ))
+            }
+        }
         Command::Results { files } => {
             if files.is_empty() {
                 return Err("results requires at least one file".into());
@@ -244,6 +258,25 @@ pub fn execute_to_string(cmd: Command) -> Result<String, String> {
 mod tests {
     use super::*;
     use crate::args::CliConfig;
+
+    #[test]
+    fn check_command_is_clean_without_sources() {
+        let out = execute_to_string(Command::Check { source_root: None }).unwrap();
+        assert!(out.contains("all invariants hold"), "{out}");
+        assert!(out.contains("fig7/nested-dvh"));
+        assert!(!out.contains("source lint"));
+    }
+
+    #[test]
+    fn check_command_runs_source_lint_on_repo() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let out = execute_to_string(Command::Check {
+            source_root: Some(root.into()),
+        })
+        .unwrap();
+        assert!(out.contains("source lint"), "{out}");
+        assert!(out.contains("all invariants hold"), "{out}");
+    }
 
     #[test]
     fn micro_command_produces_table() {

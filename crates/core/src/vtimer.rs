@@ -115,7 +115,7 @@ impl L0Extension for VirtualTimers {
 
         // Advance RIP and re-enter the nested VM directly.
         w.hv_vmwrite(0, cpu, field::GUEST_RIP, 0);
-        w.compute(cpu, w.costs.vmentry_from_root);
+        w.l0_vmentry(cpu);
         Intercept::Handled
     }
 }

@@ -41,15 +41,30 @@ impl World {
         reason: ExitReason,
         qual: ExitQualification,
     ) {
-        debug_assert!(from_level >= 1 && from_level <= self.leaf_level());
-        let outermost = self.exit_depth == 0;
+        // Load-bearing in release builds too: a bad level would charge
+        // cycles to a nonexistent layer and corrupt the attribution
+        // ledger (checked by dvh-checker's cycle-conservation lint).
+        assert!(
+            from_level >= 1 && from_level <= self.leaf_level(),
+            "vmexit from level {from_level} outside 1..={}",
+            self.leaf_level()
+        );
+        let outermost = self.exit_depth[cpu] == 0;
         let t0 = if outermost { Some(self.now(cpu)) } else { None };
-        self.exit_depth += 1;
+        self.exit_depth[cpu] += 1;
         self.vmexit_inner(from_level, cpu, reason, qual);
-        self.exit_depth -= 1;
+        self.exit_depth[cpu] -= 1;
         if let Some(t0) = t0 {
             let spent = self.now(cpu) - t0;
             self.stats.attribute_cycles(from_level, reason, spent);
+            let at = self.now(cpu);
+            self.trace(|| crate::trace::TraceEvent::Completed {
+                at,
+                cpu,
+                from_level,
+                reason,
+                spent,
+            });
         }
     }
 
@@ -60,15 +75,21 @@ impl World {
         reason: ExitReason,
         qual: ExitQualification,
     ) {
-        self.compute(cpu, self.costs.vmexit_to_root);
+        // Record the exit at the moment it occurs (before any cycles
+        // are charged) so a Completed event's `spent` equals exactly
+        // `completed.at - exit.at` for outermost exits.
         self.stats.record_exit(from_level, reason);
         let at = self.now(cpu);
+        let vmcs_field =
+            matches!(reason, ExitReason::Vmread | ExitReason::Vmwrite).then_some(qual.vmcs_field);
         self.trace(|| crate::trace::TraceEvent::Exit {
             at,
             cpu,
             from_level,
             reason,
+            vmcs_field,
         });
+        self.compute(cpu, self.costs.vmexit_to_root);
         self.compute(cpu, self.costs.l0_dispatch);
 
         // EPT violations are owned by whichever hypervisor's stage is
@@ -197,7 +218,7 @@ impl World {
                 self.populate_stage(0, cpu, leaf_pfn);
                 // The faulting instruction re-executes: enter without
                 // advancing RIP.
-                self.compute(cpu, self.costs.vmentry_from_root);
+                self.l0_vmentry(cpu);
                 return;
             }
             ExitReason::EptMisconfig => {
@@ -229,8 +250,11 @@ impl World {
                     let v = self.vmcs(from_level, cpu).read(*f);
                     self.hv_vmwrite(0, cpu, *f, v);
                 }
+                // The merge is where hardware's VM-entry checks run on
+                // the guest hypervisor's vmcs12.
+                self.on_vmentry(from_level, cpu);
                 self.hv_vmptrld(0, cpu);
-                self.compute(cpu, self.costs.vmentry_from_root);
+                self.l0_vmentry(cpu);
                 return; // entry is the resume; no RIP advance
             }
             ExitReason::ApicWrite | ExitReason::ApicAccess | ExitReason::EoiInduced => {
@@ -245,7 +269,7 @@ impl World {
         };
         if flow == HandlerFlow::Resume {
             self.hv_vmwrite(0, cpu, field::GUEST_RIP, 0);
-            self.compute(cpu, self.costs.vmentry_from_root);
+            self.l0_vmentry(cpu);
         }
     }
 
@@ -310,7 +334,13 @@ impl World {
         reason: ExitReason,
         qual: ExitQualification,
     ) {
-        debug_assert!(owner >= 1);
+        // Promoted from a debug assertion: reflecting "to L0" would
+        // silently loop an exit back into the host and double-charge
+        // it; fail loudly in release builds as well.
+        assert!(
+            owner >= 1,
+            "cannot reflect an exit to L0 (owner must be >= 1)"
+        );
         self.stats.record_intervention(owner);
         let at = self.now(cpu);
         self.trace(|| crate::trace::TraceEvent::Intervention {
@@ -334,7 +364,7 @@ impl World {
         self.compute(cpu, self.costs.nested_reflect_build);
         self.write_synthetic_exit(1, cpu, reason, &qual);
         self.hv_vmptrld(0, cpu);
-        self.compute(cpu, self.costs.vmentry_from_root);
+        self.l0_vmentry(cpu);
 
         // Intermediate hypervisors forward the exit upward: each takes
         // a full world switch, triages, rebuilds exit state for the
@@ -380,7 +410,7 @@ impl World {
     pub(crate) fn vmresume_insn(&mut self, level: usize, cpu: usize) {
         if level == 0 {
             self.hv_vmptrld(0, cpu);
-            self.compute(cpu, self.costs.vmentry_from_root);
+            self.l0_vmentry(cpu);
         } else {
             self.vmexit(
                 level,
@@ -558,6 +588,7 @@ impl World {
                     let v = self.vmcs(from_level, cpu).read(*f);
                     self.hv_vmwrite(owner, cpu, *f, v);
                 }
+                self.on_vmentry(from_level, cpu);
                 self.hv_vmptrld(owner, cpu);
                 HandlerFlow::Resume
             }

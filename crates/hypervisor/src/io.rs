@@ -119,7 +119,7 @@ impl World {
                 // cascade forwards hop by hop (each hop reflected as
                 // needed by the exit engine).
                 let owner = self.leaf_level() - 1;
-                let bar = self.virtio[owner].pci().bar(0).unwrap().base;
+                let bar = self.virtio_dev(owner).pci().bar(0).unwrap().base;
                 self.vmexit(
                     self.leaf_level(),
                     cpu,
@@ -168,7 +168,12 @@ impl World {
             sector,
             len: bytes.div_ceil(512) * 512,
         };
-        debug_assert!(self.blk.validate(req), "request within geometry");
+        // Promoted from a debug assertion: an out-of-geometry request
+        // would silently clip I/O cost accounting in release builds.
+        assert!(
+            self.blk.validate(req),
+            "blk request outside device geometry"
+        );
         let desc = Descriptor {
             addr: Gpa::from_pfn(LEAF_BUF_BASE_PFN + 48),
             len: req.len,
@@ -352,12 +357,12 @@ impl World {
         // above; the leaf's queue has real entries, intermediate hops
         // re-add them below).
         let mut moved: Vec<(u64, u32)> = Vec::new();
-        while let Some(chain) = self.virtio[owner].tx.pop_avail() {
+        while let Some(chain) = self.virtio_dev_mut(owner).tx.pop_avail() {
             for d in &chain.descs {
                 moved.push((d.addr.pfn(), d.len));
             }
             let head = chain.head;
-            self.virtio[owner].tx.push_used(head, 0);
+            self.virtio_dev_mut(owner).tx.push_used(head, 0);
         }
         for (_, len) in &moved {
             // The vhost copy between adjacent address spaces.

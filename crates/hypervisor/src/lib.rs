@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod config;
 mod exits;
 pub mod extension;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod trace;
 pub mod world;
 
+pub use check::VmentryFinding;
 pub use config::{DvhFlags, HvKind, IoModel, WorldConfig};
 pub use extension::{Intercept, L0Extension};
 pub use runtime::IrqPath;

@@ -51,7 +51,7 @@ impl World {
         self.paused[cpu] = false;
         self.pi_desc[cpu].sn = false;
         self.compute(cpu, self.costs.vcpu_kick);
-        self.compute(cpu, self.costs.vmentry_from_root);
+        self.l0_vmentry(cpu);
         let pending = self.pi_desc[cpu].drain();
         for v in pending {
             self.lapic[cpu].accept(v);

@@ -74,7 +74,11 @@ impl World {
         let pfn_out = pfn_in + STAGE_PFN_OFFSET;
         // Page allocation + page-table construction software path.
         self.compute(cpu, Cycles::new(1_800));
-        self.epts[stage].map_ram(Gpa::from_pfn(pfn_in), dvh_memory::Hpa::from_pfn(pfn_out), 1);
+        self.ept_stage_mut(stage).map_ram(
+            Gpa::from_pfn(pfn_in),
+            dvh_memory::Hpa::from_pfn(pfn_out),
+            1,
+        );
         if stage == 0 {
             // L0 also extends the merged shadow EPT for deep guests.
             self.compute(cpu, Cycles::new(600));

@@ -191,14 +191,14 @@ impl World {
             // idle): re-enter it straight away.
             self.hv_vmptrld(0, cpu);
             self.compute(cpu, self.costs.event_injection);
-            self.compute(cpu, self.costs.vmentry_from_root);
+            self.l0_vmentry(cpu);
             return;
         }
         // Enter the lowest blocked hypervisor, then let each blocked
         // level wake its own guest vCPU and resume — with every resume
         // trapping down the chain.
         self.hv_vmptrld(0, cpu);
-        self.compute(cpu, self.costs.vmentry_from_root);
+        self.l0_vmentry(cpu);
         for j in levels {
             self.compute(cpu, self.costs.vcpu_kick);
             self.compute(cpu, self.costs.event_injection);

@@ -23,6 +23,27 @@ pub enum TraceEvent {
         from_level: usize,
         /// Architectural reason.
         reason: ExitReason,
+        /// For `Vmread`/`Vmwrite` exits, the VMCS field encoding the
+        /// guest hypervisor was accessing (used by the trace linter to
+        /// catch shadow-bypass reflections); `None` otherwise.
+        vmcs_field: Option<u32>,
+    },
+    /// An outermost exit finished: the CPU re-entered the level it
+    /// exited from, with `spent` simulated cycles consumed end to end.
+    /// Emitted only for top-level exits (`exit_depth` returning to 0),
+    /// mirroring [`crate::stats::RunStats::attribute_cycles`] so the
+    /// trace linter can prove cycle conservation.
+    Completed {
+        /// Time the exit finished (re-entry to the guest).
+        at: Cycles,
+        /// CPU.
+        cpu: usize,
+        /// Level whose exit this completes.
+        from_level: usize,
+        /// The architectural reason of the completed exit.
+        reason: ExitReason,
+        /// Cycles consumed between the exit and this completion.
+        spent: Cycles,
     },
     /// An exit was delivered to a guest hypervisor.
     Intervention {
@@ -62,6 +83,7 @@ impl TraceEvent {
     pub fn at(&self) -> Cycles {
         match self {
             TraceEvent::Exit { at, .. }
+            | TraceEvent::Completed { at, .. }
             | TraceEvent::Intervention { at, .. }
             | TraceEvent::DvhIntercept { at, .. }
             | TraceEvent::IrqDelivered { at, .. } => *at,
@@ -72,6 +94,7 @@ impl TraceEvent {
     pub fn cpu(&self) -> usize {
         match self {
             TraceEvent::Exit { cpu, .. }
+            | TraceEvent::Completed { cpu, .. }
             | TraceEvent::Intervention { cpu, .. }
             | TraceEvent::DvhIntercept { cpu, .. }
             | TraceEvent::IrqDelivered { cpu, .. } => *cpu,
@@ -87,7 +110,24 @@ impl fmt::Display for TraceEvent {
                 cpu,
                 from_level,
                 reason,
-            } => write!(f, "[{at}] cpu{cpu} exit L{from_level} {reason}"),
+                vmcs_field,
+            } => {
+                write!(f, "[{at}] cpu{cpu} exit L{from_level} {reason}")?;
+                if let Some(enc) = vmcs_field {
+                    write!(f, " field {enc:#06x}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::Completed {
+                at,
+                cpu,
+                from_level,
+                reason,
+                spent,
+            } => write!(
+                f,
+                "[{at}] cpu{cpu} resume L{from_level} {reason} (spent {spent})"
+            ),
             TraceEvent::Intervention {
                 at,
                 cpu,
@@ -158,6 +198,18 @@ impl World {
     /// Stops tracing and returns the recorded events.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.tracer.take().map(|t| t.events).unwrap_or_default()
+    }
+
+    /// Events recorded so far without stopping tracing (empty when
+    /// tracing is off).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.tracer.as_ref().map(|t| t.events()).unwrap_or(&[])
+    }
+
+    /// How many trace events have been evicted from the bounded
+    /// buffer. The trace linter refuses to certify a truncated trace.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map(|t| t.dropped()).unwrap_or(0)
     }
 
     /// Records an event if tracing is enabled.
@@ -236,6 +288,7 @@ mod tests {
             cpu: 1,
             from_level: 2,
             reason: ExitReason::Hlt,
+            vmcs_field: None,
         };
         let s = e.to_string();
         assert!(s.contains("cpu1") && s.contains("L2") && s.contains("Hlt"));

@@ -50,6 +50,14 @@ pub const LEAF_BUF_BASE_PFN: u64 = 0x100;
 /// The per-vCPU posted-interrupt notification vector.
 pub const PI_NOTIFICATION_VECTOR: u8 = 0xF2;
 
+/// Host-physical base address of the per-vCPU posted-interrupt
+/// descriptor array programmed into every VMCS (64 bytes per vCPU).
+pub const PI_DESC_BASE: u64 = 0x3000;
+
+/// Host-physical address of the shadow VMCS linked from vmcs01 when
+/// VMCS shadowing is enabled.
+pub const SHADOW_VMCS_ADDR: u64 = 0x8000;
+
 /// The simulated machine.
 pub struct World {
     /// Cycle-cost model in force.
@@ -129,9 +137,21 @@ pub struct World {
     pub runnable_sibling_vms: u32,
     /// Per leaf-vCPU pause state (migration stop-and-copy).
     pub(crate) paused: Vec<bool>,
-    /// Current exit-handling nesting depth (0 = guest code running):
+    /// Per-CPU exit-handling nesting depth (0 = guest code running):
     /// lets the dispatcher attribute cycles to outermost exits only.
-    pub(crate) exit_depth: u32,
+    /// Per-CPU so that exits on a woken sibling (e.g. the destination
+    /// side of an IPI) are attributed on their own CPU rather than
+    /// silently folded into the sender's exit.
+    pub(crate) exit_depth: Vec<u32>,
+    /// The DVH capability word the platform advertises (the simulated
+    /// `IA32_VMX_DVH_CAP`). Enabling a DVH control a level was never
+    /// offered is a VM-entry consistency violation (§3.5).
+    pub dvh_advertised: u64,
+    /// Whether VM-entry consistency checks run on every simulated
+    /// entry (see `check.rs`). Off by default.
+    pub(crate) vmentry_checks: bool,
+    /// Violations collected while `vmentry_checks` is on.
+    pub(crate) vmentry_findings: Vec<crate::check::VmentryFinding>,
 }
 
 impl World {
@@ -156,7 +176,7 @@ impl World {
         let mut vmcs = Vec::with_capacity(n);
         for k in 0..n {
             let mut per_cpu = Vec::with_capacity(v);
-            for _ in 0..v {
+            for i in 0..v {
                 let mut m = Vmcs::new();
                 // Every hypervisor traps HLT by default (virtual idle,
                 // when enabled, clears this in guest hypervisors).
@@ -168,6 +188,32 @@ impl World {
                 // A synthetic per-level TSC offset so offset-combining
                 // logic is observable.
                 m.write(field::TSC_OFFSET, (k as u64 + 1) * 0x1000);
+                // Baseline architectural consistency, as checked at
+                // every simulated VM entry (SDM §26 / `check.rs`):
+                // secondary controls activated, EPT enabled with a
+                // programmed EPTP, posted interrupts with a valid
+                // notification vector and non-null descriptor.
+                m.set_bits(
+                    field::CPU_BASED_EXEC_CONTROLS,
+                    ctrl::cpu::SECONDARY_CONTROLS,
+                );
+                m.set_bits(field::SECONDARY_EXEC_CONTROLS, ctrl::secondary::ENABLE_EPT);
+                m.write(
+                    field::EPT_POINTER,
+                    ((0x10 + k as u64) << 12) | 0x1e, // root PFN | WB, 4-level walk
+                );
+                m.set_bits(field::PIN_BASED_EXEC_CONTROLS, ctrl::pin::POSTED_INTERRUPTS);
+                m.write(
+                    field::POSTED_INTR_NOTIFICATION_VECTOR,
+                    PI_NOTIFICATION_VECTOR as u64,
+                );
+                m.write(field::POSTED_INTR_DESC_ADDR, PI_DESC_BASE + i as u64 * 64);
+                if k == 0 && config.vmcs_shadowing && profile.uses_shadowing {
+                    // L0 shadows L1's hot vmcs12 fields: vmcs01 carries
+                    // the shadow-VMCS control and a usable link pointer.
+                    m.set_bits(field::SECONDARY_EXEC_CONTROLS, ctrl::secondary::SHADOW_VMCS);
+                    m.write(field::VMCS_LINK_POINTER, SHADOW_VMCS_ADDR);
+                }
                 per_cpu.push(m);
             }
             vmcs.push(per_cpu);
@@ -229,7 +275,12 @@ impl World {
             poll_idle: false,
             runnable_sibling_vms: 0,
             paused: vec![false; v],
-            exit_depth: 0,
+            exit_depth: vec![0; v],
+            dvh_advertised: dvh_arch::vmx::cap::VIRTUAL_TIMER
+                | dvh_arch::vmx::cap::VIRTUAL_IPI
+                | dvh_arch::vmx::cap::VCIMTAR,
+            vmentry_checks: false,
+            vmentry_findings: Vec::new(),
             config,
         };
         w.setup_io();
@@ -415,6 +466,37 @@ impl World {
     /// Mutable access; see [`World::vmcs`].
     pub fn vmcs_mut(&mut self, owner: usize, cpu: usize) -> &mut Vmcs {
         &mut self.vmcs[owner][cpu]
+    }
+
+    /// The virtio device provided by the hypervisor at `level`
+    /// (bounds-checked here so dispatch paths never index raw).
+    pub fn virtio_dev(&self, level: usize) -> &VirtioNet {
+        &self.virtio[level]
+    }
+
+    /// Mutable access; see [`World::virtio_dev`].
+    pub fn virtio_dev_mut(&mut self, level: usize) -> &mut VirtioNet {
+        &mut self.virtio[level]
+    }
+
+    /// The EPT stage built by the hypervisor at `stage` for the VM at
+    /// `stage + 1`.
+    pub fn ept_stage_mut(&mut self, stage: usize) -> &mut Ept {
+        &mut self.epts[stage]
+    }
+
+    /// The set of vmcs12 fields L0 shadows for L1 (empty when VMCS
+    /// shadowing is disabled). The trace linter uses this to prove no
+    /// shadowed access was ever reflected.
+    pub fn shadow_fields(&self) -> &ShadowFieldSet {
+        &self.shadow
+    }
+
+    /// Resets the statistics ledger to zero. Checker harnesses call
+    /// this together with [`World::enable_tracing`] so the ledger and
+    /// the trace cover exactly the same window (cycle conservation).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::new();
     }
 
     /// Whether the leaf vCPU on `cpu` is halted.

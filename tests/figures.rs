@@ -183,6 +183,48 @@ fn figure_5_nested_ipi_with_virtual_ipis() {
         .any(|e| matches!(e, TraceEvent::IrqDelivered { cpu: 1, .. })));
 }
 
+/// Every figure scenario above, re-run under the dvh-checker: the
+/// VM-entry checker and trace linter certify the exact traces the
+/// figure tests assert on (zero invariant violations).
+#[test]
+fn figure_traces_are_certified() {
+    use dvh_checker::trace_lint::{lint_trace, TraceContext};
+    use dvh_checker::vmentry::check_world;
+
+    type Scenario = (&'static str, MachineConfig, fn(&mut Machine));
+    let scenarios: Vec<Scenario> = vec![
+        ("fig1a", MachineConfig::baseline(2), |m| {
+            m.program_timer(0);
+        }),
+        ("fig1b", MachineConfig::dvh(2), |m| {
+            m.program_timer(0);
+        }),
+        ("fig4", MachineConfig::baseline(2), |m| {
+            m.world_mut().guest_send_ipi(0, 1, 0x41);
+        }),
+        ("fig5", MachineConfig::dvh(2), |m| {
+            m.world_mut().guest_send_ipi(0, 1, 0x41);
+        }),
+        ("fig6", MachineConfig::dvh_vp(4), |m| {
+            m.net_rx(0, 1500);
+        }),
+    ];
+    for (name, config, op) in scenarios {
+        let mut m = Machine::build(config);
+        {
+            let w = m.world_mut();
+            w.enable_tracing(1 << 16);
+            w.enable_vmentry_checks();
+            w.reset_stats();
+        }
+        op(&mut m);
+        let mut violations = check_world(m.world_mut());
+        let w = m.world();
+        violations.extend(lint_trace(w.trace_events(), &TraceContext::for_world(w)));
+        assert!(violations.is_empty(), "{name}: {violations:#?}");
+    }
+}
+
 /// Fig. 6: recursive virtual-passthrough — "only the virtual IOMMU
 /// provided by the host hypervisor is used when the virtual I/O
 /// device accesses Ln memory": a 4-level DMA resolves in ONE combined

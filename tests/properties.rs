@@ -1,4 +1,10 @@
 //! Property-based tests over the simulator's core invariants.
+//!
+//! The workspace builds offline, so instead of an external
+//! property-testing framework these tests drive each property with a
+//! small deterministic PRNG ([`prng::Prng`]): every test explores a
+//! fixed, reproducible set of random cases and reports the seed of a
+//! failing case in its panic message.
 
 use dvh_arch::apic::IcrValue;
 use dvh_core::{Machine, MachineConfig};
@@ -6,24 +12,81 @@ use dvh_devices::vhost::{dma_read, dma_write};
 use dvh_memory::iommu_pt::{IoTable, ShadowIoTable};
 use dvh_memory::sparse::SparseMemory;
 use dvh_memory::{DirtyBitmap, Gpa, PageTable, Perms};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+mod prng {
+    /// A tiny deterministic PRNG (splitmix64) — good enough statistical
+    /// quality for test-case generation, no dependencies, and fully
+    /// reproducible from the seed.
+    pub struct Prng(u64);
 
-    /// ICR encode/decode round-trips for every vector and destination.
-    #[test]
-    fn icr_round_trip(vector in any::<u8>(), dest in 0u32..4096) {
-        let icr = IcrValue::fixed(vector, dest);
-        prop_assert_eq!(IcrValue::decode(icr.encode()), icr);
+    impl Prng {
+        pub fn new(seed: u64) -> Prng {
+            Prng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi)`.
+        pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi);
+            lo + self.next_u64() % (hi - lo)
+        }
+
+        pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+            self.range(lo as u64, hi as u64) as usize
+        }
+
+        /// A vec of `range(lo, hi)` values with random length in
+        /// `[min_len, max_len)`.
+        pub fn vec(&mut self, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+            let n = self.usize_range(min_len, max_len);
+            (0..n).map(|_| self.range(lo, hi)).collect()
+        }
     }
 
-    /// A shadow I/O table lookup equals walking each stage in turn,
-    /// for arbitrary two-stage mappings.
-    #[test]
-    fn shadow_equals_sequential_translation(
-        maps in prop::collection::vec((0u64..512, 0u64..512, 0u64..512), 1..40)
-    ) {
+    /// Runs `body` for `cases` seeded cases, labelling failures.
+    pub fn check(cases: u64, body: impl Fn(&mut Prng)) {
+        for seed in 0..cases {
+            let mut rng = Prng::new(seed);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng);
+            }));
+            if let Err(e) = result {
+                eprintln!("property failed for seed {seed}");
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+use prng::check;
+
+/// ICR encode/decode round-trips for every vector and destination.
+#[test]
+fn icr_round_trip() {
+    check(64, |rng| {
+        let vector = rng.range(0, 256) as u8;
+        let dest = rng.range(0, 4096) as u32;
+        let icr = IcrValue::fixed(vector, dest);
+        assert_eq!(IcrValue::decode(icr.encode()), icr);
+    });
+}
+
+/// A shadow I/O table lookup equals walking each stage in turn, for
+/// arbitrary two-stage mappings.
+#[test]
+fn shadow_equals_sequential_translation() {
+    check(64, |rng| {
+        let n = rng.usize_range(1, 40);
+        let maps: Vec<(u64, u64, u64)> = (0..n)
+            .map(|_| (rng.range(0, 512), rng.range(0, 512), rng.range(0, 512)))
+            .collect();
         let mut inner = IoTable::new();
         let mut outer = IoTable::new();
         for (iova, mid, out) in &maps {
@@ -34,36 +97,42 @@ proptest! {
         for (iova, _, _) in &maps {
             let step1 = inner.table().lookup(*iova).unwrap().pfn;
             let step2 = outer.table().lookup(step1).unwrap().pfn;
-            prop_assert_eq!(shadow.lookup(*iova).unwrap().0, step2);
+            assert_eq!(shadow.lookup(*iova).unwrap().0, step2);
         }
-    }
+    });
+}
 
-    /// Page-table translate agrees with lookup, and never invents
-    /// mappings.
-    #[test]
-    fn pagetable_translate_matches_lookup(
-        maps in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..50),
-        probes in prop::collection::vec(0u64..10_000, 0..50),
-    ) {
+/// Page-table translate agrees with lookup, and never invents
+/// mappings.
+#[test]
+fn pagetable_translate_matches_lookup() {
+    check(64, |rng| {
+        let maps: Vec<(u64, u64)> = (0..rng.usize_range(0, 50))
+            .map(|_| (rng.range(0, 10_000), rng.range(0, 10_000)))
+            .collect();
+        let probes = rng.vec(0, 10_000, 0, 50);
         let mut pt = PageTable::new();
         for (from, to) in &maps {
             pt.map(*from, *to, Perms::RW);
         }
         for p in probes {
             match (pt.lookup(p), pt.translate(p, Perms::RO)) {
-                (Some(e), Ok(t)) => prop_assert_eq!(e.pfn, t.pfn),
+                (Some(e), Ok(t)) => assert_eq!(e.pfn, t.pfn),
                 (None, Err(_)) => {}
-                (l, t) => prop_assert!(false, "disagree: {:?} vs {:?}", l, t),
+                (l, t) => panic!("disagree: {:?} vs {:?}", l, t),
             }
         }
-    }
+    });
+}
 
-    /// Every DMA write is dirty-logged: after arbitrary writes through
-    /// an IOMMU table, every touched page is in the log.
-    #[test]
-    fn dma_dirty_log_is_complete(
-        writes in prop::collection::vec((0u64..32, 1usize..5000), 1..20)
-    ) {
+/// Every DMA write is dirty-logged: after arbitrary writes through an
+/// IOMMU table, every touched page is in the log.
+#[test]
+fn dma_dirty_log_is_complete() {
+    check(64, |rng| {
+        let writes: Vec<(u64, usize)> = (0..rng.usize_range(1, 20))
+            .map(|_| (rng.range(0, 32), rng.usize_range(1, 5000)))
+            .collect();
         let mut xl = IoTable::new();
         xl.map(0, 0x500, 40, Perms::RW);
         let mut mem = SparseMemory::new();
@@ -76,32 +145,38 @@ proptest! {
             let pages_touched = (*len as u64).div_ceil(4096) + 1;
             for k in 0..pages_touched {
                 if *page + k < 40 && k * 4096 < *len as u64 {
-                    prop_assert!(dirty.is_dirty(0x500 + *page + k));
+                    assert!(dirty.is_dirty(0x500 + *page + k));
                 }
             }
         }
-    }
+    });
+}
 
-    /// DMA read returns exactly what DMA write stored, at any offset
-    /// and length within the mapped window.
-    #[test]
-    fn dma_write_read_round_trip(
-        offset in 0u64..(8 * 4096 - 1),
-        len in 1usize..8192,
-    ) {
-        let len = len.min((16 * 4096 - offset as usize).saturating_sub(1)).max(1);
+/// DMA read returns exactly what DMA write stored, at any offset and
+/// length within the mapped window.
+#[test]
+fn dma_write_read_round_trip() {
+    check(64, |rng| {
+        let offset = rng.range(0, 8 * 4096 - 1);
+        let len = rng.usize_range(1, 8192);
+        let len = len
+            .min((16 * 4096 - offset as usize).saturating_sub(1))
+            .max(1);
         let mut xl = IoTable::new();
         xl.map(0, 0x900, 32, Perms::RW);
         let mut mem = SparseMemory::new();
         let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
         dma_write(&mut mem, &mut xl, Gpa::new(offset), &data, None).unwrap();
         let back = dma_read(&mem, &mut xl, Gpa::new(offset), len).unwrap();
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    /// Dirty bitmap harvest returns each page exactly once, sorted.
-    #[test]
-    fn dirty_harvest_unique_and_sorted(pfns in prop::collection::vec(0u64..1000, 0..200)) {
+/// Dirty bitmap harvest returns each page exactly once, sorted.
+#[test]
+fn dirty_harvest_unique_and_sorted() {
+    check(64, |rng| {
+        let pfns = rng.vec(0, 1000, 0, 200);
         let mut b = DirtyBitmap::new();
         for p in &pfns {
             b.mark_pfn(*p);
@@ -110,19 +185,18 @@ proptest! {
         let mut expect: Vec<u64> = pfns;
         expect.sort_unstable();
         expect.dedup();
-        prop_assert_eq!(harvested, expect);
-        prop_assert!(b.is_clean());
-    }
+        assert_eq!(harvested, expect);
+        assert!(b.is_clean());
+    });
 }
 
-proptest! {
-    // Machine-level properties are slower; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// Machine-level properties are slower; fewer cases.
 
-    /// Nested cost strictly dominates non-nested cost for every
-    /// microbenchmark-like operation, at any depth up to 3.
-    #[test]
-    fn cost_is_monotonic_in_depth(op in 0usize..3) {
+/// Nested cost strictly dominates non-nested cost for every
+/// microbenchmark-like operation, at any depth up to 3.
+#[test]
+fn cost_is_monotonic_in_depth() {
+    for op in 0usize..3 {
         let mut prev = 0u64;
         for levels in 1..=3usize {
             let mut m = Machine::build(MachineConfig::baseline(levels));
@@ -132,52 +206,119 @@ proptest! {
                 _ => m.send_ipi(0, 1),
             }
             .as_u64();
-            prop_assert!(c > prev, "levels={levels} op={op}: {c} <= {prev}");
+            assert!(c > prev, "levels={levels} op={op}: {c} <= {prev}");
             prev = c;
         }
     }
+}
 
-    /// DVH never performs worse than vanilla nested virtualization for
-    /// the operations it accelerates, at any supported depth.
-    #[test]
-    fn dvh_never_slower_for_accelerated_ops(levels in 2usize..4) {
+/// DVH never performs worse than vanilla nested virtualization for the
+/// operations it accelerates, at any supported depth.
+#[test]
+fn dvh_never_slower_for_accelerated_ops() {
+    for levels in 2usize..4 {
         let mut vanilla = Machine::build(MachineConfig::baseline(levels));
         let mut dvh = Machine::build(MachineConfig::dvh(levels));
-        prop_assert!(dvh.program_timer(0) < vanilla.program_timer(0));
-        prop_assert!(dvh.send_ipi(0, 1) < vanilla.send_ipi(0, 1));
-        prop_assert!(dvh.device_notify(0) < vanilla.device_notify(0));
-        prop_assert!(dvh.idle_round(0) < vanilla.idle_round(0));
+        assert!(dvh.program_timer(0) < vanilla.program_timer(0));
+        assert!(dvh.send_ipi(0, 1) < vanilla.send_ipi(0, 1));
+        assert!(dvh.device_notify(0) < vanilla.device_notify(0));
+        assert!(dvh.idle_round(0) < vanilla.idle_round(0));
     }
+}
 
-    /// The simulator is deterministic: identical configurations produce
-    /// identical cycle counts for identical operation sequences.
-    #[test]
-    fn determinism(seq in prop::collection::vec(0usize..4, 1..12)) {
-        let run = |seq: &[usize]| {
+/// The simulator is deterministic: identical configurations produce
+/// identical cycle counts for identical operation sequences.
+#[test]
+fn determinism() {
+    check(12, |rng| {
+        let seq = rng.vec(0, 4, 1, 12);
+        let run = |seq: &[u64]| {
             let mut m = Machine::build(MachineConfig::dvh(2));
             for &op in seq {
                 match op {
-                    0 => { m.hypercall(0); }
-                    1 => { m.program_timer(0); }
-                    2 => { m.send_ipi(0, 1); }
-                    _ => { m.net_tx(0, 1, 700); }
+                    0 => {
+                        m.hypercall(0);
+                    }
+                    1 => {
+                        m.program_timer(0);
+                    }
+                    2 => {
+                        m.send_ipi(0, 1);
+                    }
+                    _ => {
+                        m.net_tx(0, 1, 700);
+                    }
                 }
             }
             (m.now(0), m.now(1), m.world().stats.total_exits())
         };
-        prop_assert_eq!(run(&seq), run(&seq));
-    }
+        assert_eq!(run(&seq), run(&seq));
+    });
+}
 
-    /// The VCIMT really routes: whatever permutation the guest
-    /// hypervisor programs, IPIs land on the mapped physical CPU.
-    #[test]
-    fn vcimt_routes_to_programmed_destination(dest in 1usize..4) {
-        use dvh_core::vipi::VirtualIpis;
-        use dvh_core::capability::enable_everywhere;
-        use dvh_arch::vmx::ctrl;
-        use dvh_hypervisor::{World, WorldConfig};
-        use dvh_arch::costs::CostModel;
+/// Any random operation sequence, on any configuration, at any depth,
+/// leaves the exit engine certified: the VM-entry checker and trace
+/// linter find zero violations.
+#[test]
+fn random_workloads_are_certified() {
+    use dvh_checker::trace_lint::{lint_trace, TraceContext};
+    use dvh_checker::vmentry::check_world;
 
+    check(12, |rng| {
+        let levels = rng.usize_range(1, 4);
+        let config = match rng.range(0, 3) {
+            0 => MachineConfig::baseline(levels),
+            1 => MachineConfig::dvh_vp(levels),
+            _ => MachineConfig::dvh(levels),
+        };
+        let seq = rng.vec(0, 6, 1, 16);
+        let mut m = Machine::build(config);
+        {
+            let w = m.world_mut();
+            w.enable_tracing(1 << 20);
+            w.enable_vmentry_checks();
+            w.reset_stats();
+        }
+        for &op in &seq {
+            match op {
+                0 => {
+                    m.hypercall(0);
+                }
+                1 => {
+                    m.program_timer(0);
+                }
+                2 => {
+                    m.send_ipi(0, 1);
+                }
+                3 => {
+                    m.net_tx(0, 1, 700);
+                }
+                4 => {
+                    m.device_notify(0);
+                }
+                _ => {
+                    m.idle_round(0);
+                }
+            }
+        }
+        let mut violations = check_world(m.world_mut());
+        let w = m.world();
+        violations.extend(lint_trace(w.trace_events(), &TraceContext::for_world(w)));
+        assert!(violations.is_empty(), "{violations:#?}");
+    });
+}
+
+/// The VCIMT really routes: whatever permutation the guest hypervisor
+/// programs, IPIs land on the mapped physical CPU.
+#[test]
+fn vcimt_routes_to_programmed_destination() {
+    use dvh_arch::costs::CostModel;
+    use dvh_arch::vmx::ctrl;
+    use dvh_core::capability::enable_everywhere;
+    use dvh_core::vipi::VirtualIpis;
+    use dvh_hypervisor::{World, WorldConfig};
+
+    for dest in 1usize..4 {
         let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
         enable_everywhere(&mut w, ctrl::dvh::VIRTUAL_IPI);
         let mut ext = VirtualIpis::new(0);
@@ -185,19 +326,18 @@ proptest! {
         w.register_extension(Box::new(ext));
         let before = w.now(dest);
         w.guest_send_ipi(0, 1, 0x77);
-        prop_assert!(w.now(dest) > before);
+        assert!(w.now(dest) > before);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// LAPIC conservation: every accepted vector is eventually
-    /// dispatched exactly once and EOI'd exactly once, in strict
-    /// priority order within each drain.
-    #[test]
-    fn lapic_accept_dispatch_eoi_conservation(vectors in prop::collection::vec(16u8..=255, 1..40)) {
+/// LAPIC conservation: every accepted vector is eventually dispatched
+/// exactly once and EOI'd exactly once, in strict priority order
+/// within each drain.
+#[test]
+fn lapic_accept_dispatch_eoi_conservation() {
+    check(64, |rng| {
         use dvh_arch::apic::LapicState;
+        let vectors: Vec<u8> = rng.vec(16, 256, 1, 40).iter().map(|v| *v as u8).collect();
         let mut l = LapicState::new();
         let mut unique: Vec<u8> = vectors.clone();
         unique.sort_unstable();
@@ -213,28 +353,31 @@ proptest! {
         // Highest priority first, each unique vector exactly once.
         let mut expect = unique;
         expect.reverse();
-        prop_assert_eq!(seen, expect);
-        prop_assert!(!l.has_pending());
-        prop_assert!(!l.in_service());
-    }
+        assert_eq!(seen, expect);
+        assert!(!l.has_pending());
+        assert!(!l.in_service());
+    });
+}
 
-    /// SGI encode/decode round-trips for all valid INTIDs/targets.
-    #[test]
-    fn sgi_round_trip(intid in 0u8..=15, target in 0u32..64) {
-        use dvh_arch::arm::SgiValue;
-        let sgi = SgiValue::new(intid, target);
-        prop_assert_eq!(SgiValue::decode(sgi.encode()), sgi);
+/// SGI encode/decode round-trips for all valid INTIDs/targets.
+#[test]
+fn sgi_round_trip() {
+    use dvh_arch::arm::SgiValue;
+    for intid in 0u8..=15 {
+        for target in 0u32..64 {
+            let sgi = SgiValue::new(intid, target);
+            assert_eq!(SgiValue::decode(sgi.encode()), sgi);
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Interrupt conservation across pause/resume: no vector delivered
-    /// while paused is ever lost, regardless of how many arrive.
-    #[test]
-    fn pause_resume_conserves_interrupts(vectors in prop::collection::vec(32u8..=200, 1..12)) {
+/// Interrupt conservation across pause/resume: no vector delivered
+/// while paused is ever lost, regardless of how many arrive.
+#[test]
+fn pause_resume_conserves_interrupts() {
+    check(10, |rng| {
         use dvh_hypervisor::IrqPath;
+        let vectors: Vec<u8> = rng.vec(32, 201, 1, 12).iter().map(|v| *v as u8).collect();
         let mut m = Machine::build(MachineConfig::dvh(2));
         let base = m.world().lapic[0].accepted_count();
         m.world_mut().pause_vcpu(0);
@@ -243,34 +386,36 @@ proptest! {
         unique.dedup();
         for v in &vectors {
             let t = m.now(1);
-            m.world_mut().deliver_leaf_interrupt(0, *v, t, IrqPath::PostedDirect);
+            m.world_mut()
+                .deliver_leaf_interrupt(0, *v, t, IrqPath::PostedDirect);
         }
-        prop_assert_eq!(m.world().lapic[0].accepted_count(), base);
+        assert_eq!(m.world().lapic[0].accepted_count(), base);
         m.world_mut().resume_vcpu(0);
-        prop_assert_eq!(
+        assert_eq!(
             m.world().lapic[0].accepted_count(),
             base + unique.len() as u64
         );
-        prop_assert_eq!(m.world().lapic[0].eoi_count(), base + unique.len() as u64);
-    }
+        assert_eq!(m.world().lapic[0].eoi_count(), base + unique.len() as u64);
+    });
+}
 
-    /// EPT population is complete and canonical for arbitrary pages at
-    /// any depth.
-    #[test]
-    fn ept_population_matches_canonical_layout(
-        levels in 1usize..4,
-        pages in prop::collection::vec(0u64..5_000, 1..10),
-    ) {
+/// EPT population is complete and canonical for arbitrary pages at any
+/// depth.
+#[test]
+fn ept_population_matches_canonical_layout() {
+    check(10, |rng| {
+        let levels = rng.usize_range(1, 4);
+        let pages = rng.vec(0, 5_000, 1, 10);
         let mut m = Machine::build(MachineConfig::baseline(levels));
         for p in &pages {
             m.world_mut().guest_touch_page(0, *p);
         }
         for p in &pages {
-            prop_assert!(m.world().leaf_page_mapped(*p));
-            prop_assert_eq!(
+            assert!(m.world().leaf_page_mapped(*p));
+            assert_eq!(
                 m.world_mut().walk_leaf_to_host(*p),
                 Some(*p + levels as u64 * dvh_hypervisor::world::STAGE_PFN_OFFSET)
             );
         }
-    }
+    });
 }
