@@ -17,9 +17,11 @@
 
 mod exit;
 pub mod field;
+pub mod slots;
 pub mod validate;
 
 pub use exit::{ExitQualification, ExitReason};
+pub use slots::{slot_of, NUM_SLOTS, SLOT_ENCODINGS};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -114,10 +116,32 @@ pub mod cap {
 /// vmcs.set_bits(field::CPU_BASED_EXEC_CONTROLS, dvh_arch::vmx::ctrl::cpu::HLT_EXITING);
 /// assert!(vmcs.has_bits(field::CPU_BASED_EXEC_CONTROLS, 1 << 7));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vmcs {
-    fields: BTreeMap<u32, u64>,
+    /// Values of the known fields, indexed by [`slots::slot_of`]. A slot
+    /// whose `written` bit is clear always holds 0, so `read` never has
+    /// to consult the bitset.
+    values: [u64; NUM_SLOTS],
+    /// Bit `i` set ⇔ slot `i` has been written since the last `clear`.
+    /// Tracked so `len`/`iter` keep the "fields ever written" semantics
+    /// of the previous map-based representation.
+    written: u64,
+    /// Fields with encodings outside the compile-time slot table. Empty
+    /// for everything the simulator itself does; exists so the public
+    /// API still accepts arbitrary encodings.
+    overflow: BTreeMap<u32, u64>,
     launched: bool,
+}
+
+impl Default for Vmcs {
+    fn default() -> Vmcs {
+        Vmcs {
+            values: [0; NUM_SLOTS],
+            written: 0,
+            overflow: BTreeMap::new(),
+            launched: false,
+        }
+    }
 }
 
 impl Vmcs {
@@ -128,13 +152,26 @@ impl Vmcs {
 
     /// Reads a field, returning 0 for never-written fields (cleared
     /// VMCS state is architecturally zero in this model).
+    #[inline(always)]
     pub fn read(&self, field: u32) -> u64 {
-        self.fields.get(&field).copied().unwrap_or(0)
+        match slot_of(field) {
+            Some(slot) => self.values[slot],
+            None => self.overflow.get(&field).copied().unwrap_or(0),
+        }
     }
 
     /// Writes a field.
+    #[inline(always)]
     pub fn write(&mut self, field: u32, value: u64) {
-        self.fields.insert(field, value);
+        match slot_of(field) {
+            Some(slot) => {
+                self.values[slot] = value;
+                self.written |= 1 << slot;
+            }
+            None => {
+                self.overflow.insert(field, value);
+            }
+        }
     }
 
     /// Sets `bits` in a control field (read-modify-write OR).
@@ -150,6 +187,7 @@ impl Vmcs {
     }
 
     /// Whether all of `bits` are set in `field`.
+    #[inline(always)]
     pub fn has_bits(&self, field: u32, bits: u64) -> bool {
         self.read(field) & bits == bits
     }
@@ -166,24 +204,67 @@ impl Vmcs {
 
     /// Clears all state, as `vmclear` would.
     pub fn clear(&mut self) {
-        self.fields.clear();
+        self.values = [0; NUM_SLOTS];
+        self.written = 0;
+        self.overflow.clear();
         self.launched = false;
     }
 
     /// Number of distinct fields ever written. Used by tests and by the
     /// vmcs02 merge cost accounting.
     pub fn len(&self) -> usize {
-        self.fields.len()
+        self.written.count_ones() as usize + self.overflow.len()
     }
 
     /// Whether no field has been written.
     pub fn is_empty(&self) -> bool {
-        self.fields.is_empty()
+        self.written == 0 && self.overflow.is_empty()
     }
 
     /// Iterates over `(field, value)` pairs in encoding order.
+    ///
+    /// `SLOT_ENCODINGS` is sorted ascending, so merging the written-slot
+    /// walk with the (sorted) overflow map preserves the encoding-order
+    /// contract of the old `BTreeMap` representation.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.fields.iter().map(|(k, v)| (*k, *v))
+        let dense = SLOT_ENCODINGS
+            .iter()
+            .enumerate()
+            .filter(move |(slot, _)| self.written & (1 << slot) != 0)
+            .map(move |(slot, enc)| (*enc, self.values[slot]));
+        let overflow = self.overflow.iter().map(|(k, v)| (*k, *v));
+        MergeByEncoding {
+            a: dense.peekable(),
+            b: overflow.peekable(),
+        }
+    }
+}
+
+/// Merges two encoding-sorted `(field, value)` streams, preserving order.
+struct MergeByEncoding<A: Iterator, B: Iterator> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A, B> Iterator for MergeByEncoding<A, B>
+where
+    A: Iterator<Item = (u32, u64)>,
+    B: Iterator<Item = (u32, u64)>,
+{
+    type Item = (u32, u64);
+
+    fn next(&mut self) -> Option<(u32, u64)> {
+        match (self.a.peek(), self.b.peek()) {
+            (Some((ka, _)), Some((kb, _))) => {
+                if ka <= kb {
+                    self.a.next()
+                } else {
+                    self.b.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
     }
 }
 
@@ -192,7 +273,7 @@ impl fmt::Display for Vmcs {
         write!(
             f,
             "Vmcs({} fields, {})",
-            self.fields.len(),
+            self.len(),
             if self.launched { "launched" } else { "clear" }
         )
     }
@@ -207,16 +288,35 @@ impl fmt::Display for Vmcs {
 /// the exit-handling path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShadowFieldSet {
-    read: Vec<u32>,
-    write: Vec<u32>,
+    /// Bit `i` set ⇔ a `vmread` of `SLOT_ENCODINGS[i]` is shadowed.
+    read_bits: u64,
+    /// Bit `i` set ⇔ a `vmwrite` of `SLOT_ENCODINGS[i]` is shadowed.
+    write_bits: u64,
 }
 
 impl ShadowFieldSet {
+    /// Builds a set from explicit field lists. Every field must be a
+    /// known encoding (shadow bitmaps only make sense for architectural
+    /// fields); unknown encodings panic.
+    pub fn from_fields(read: &[u32], write: &[u32]) -> ShadowFieldSet {
+        let bits = |fields: &[u32]| {
+            fields.iter().fold(0u64, |acc, f| {
+                let slot =
+                    slot_of(*f).unwrap_or_else(|| panic!("shadow field {f:#x} has no dense slot"));
+                acc | (1 << slot)
+            })
+        };
+        ShadowFieldSet {
+            read_bits: bits(read),
+            write_bits: bits(write),
+        }
+    }
+
     /// The KVM-like default shadow field set.
     pub fn kvm_default() -> ShadowFieldSet {
         use field as f;
-        ShadowFieldSet {
-            read: vec![
+        ShadowFieldSet::from_fields(
+            &[
                 f::VM_EXIT_REASON,
                 f::EXIT_QUALIFICATION,
                 f::GUEST_RIP,
@@ -232,7 +332,7 @@ impl ShadowFieldSet {
                 f::VM_INSTRUCTION_ERROR,
                 f::GUEST_CS_SELECTOR,
             ],
-            write: vec![
+            &[
                 f::GUEST_RIP,
                 f::GUEST_RSP,
                 f::GUEST_INTERRUPTIBILITY,
@@ -240,7 +340,7 @@ impl ShadowFieldSet {
                 f::CPU_BASED_EXEC_CONTROLS,
                 f::VM_ENTRY_INSTRUCTION_LEN,
             ],
-        }
+        )
     }
 
     /// An empty set: every `vmread`/`vmwrite` traps. This is the
@@ -249,29 +349,37 @@ impl ShadowFieldSet {
     /// further ~23x cost blow-up from L2 to L3 in Table 3.
     pub fn empty() -> ShadowFieldSet {
         ShadowFieldSet {
-            read: Vec::new(),
-            write: Vec::new(),
+            read_bits: 0,
+            write_bits: 0,
         }
     }
 
     /// Whether a guest `vmread` of `field` is shadowed (no exit).
+    #[inline(always)]
     pub fn covers_read(&self, field: u32) -> bool {
-        self.read.contains(&field)
+        match slot_of(field) {
+            Some(slot) => self.read_bits & (1 << slot) != 0,
+            None => false,
+        }
     }
 
     /// Whether a guest `vmwrite` of `field` is shadowed (no exit).
+    #[inline(always)]
     pub fn covers_write(&self, field: u32) -> bool {
-        self.write.contains(&field)
+        match slot_of(field) {
+            Some(slot) => self.write_bits & (1 << slot) != 0,
+            None => false,
+        }
     }
 
     /// Number of shadowed readable fields.
     pub fn read_len(&self) -> usize {
-        self.read.len()
+        self.read_bits.count_ones() as usize
     }
 
     /// Number of shadowed writable fields.
     pub fn write_len(&self) -> usize {
-        self.write.len()
+        self.write_bits.count_ones() as usize
     }
 }
 
@@ -351,5 +459,52 @@ mod tests {
     #[test]
     fn vmcs_display_nonempty() {
         assert!(!Vmcs::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn vmcs_unknown_encoding_goes_through_overflow() {
+        let mut vmcs = Vmcs::new();
+        assert_eq!(slots::slot_of(0x9999), None);
+        vmcs.write(0x9999, 77);
+        assert_eq!(vmcs.read(0x9999), 77);
+        assert_eq!(vmcs.len(), 1);
+        vmcs.clear();
+        assert_eq!(vmcs.read(0x9999), 0);
+        assert!(vmcs.is_empty());
+    }
+
+    #[test]
+    fn vmcs_write_zero_still_counts_as_written() {
+        let mut vmcs = Vmcs::new();
+        vmcs.write(field::GUEST_RIP, 0);
+        assert_eq!(vmcs.len(), 1);
+        assert!(!vmcs.is_empty());
+    }
+
+    #[test]
+    fn vmcs_iter_is_in_encoding_order_across_dense_and_overflow() {
+        let mut vmcs = Vmcs::new();
+        vmcs.write(field::GUEST_RIP, 1); // 0x681E, dense
+        vmcs.write(0x4401, 2); // unknown, overflow
+        vmcs.write(field::VPID, 3); // 0x0000, dense
+        vmcs.write(0x9999, 4); // unknown, overflow
+        let got: Vec<(u32, u64)> = vmcs.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                (field::VPID, 3),
+                (0x4401, 2),
+                (field::GUEST_RIP, 1),
+                (0x9999, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn shadow_set_lens_match_kvm_defaults() {
+        let s = ShadowFieldSet::kvm_default();
+        assert_eq!(s.read_len(), 14);
+        assert_eq!(s.write_len(), 6);
+        assert_eq!(ShadowFieldSet::empty().read_len(), 0);
     }
 }

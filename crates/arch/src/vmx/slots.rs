@@ -1,0 +1,149 @@
+//! Perfect-index slot table for VMCS field encodings.
+//!
+//! The simulator's innermost loop is `Vmcs::read`/`Vmcs::write`: every
+//! simulated `vmread`/`vmwrite`, every world-switch program step, and
+//! every vmcs12→vmcs02 merge goes through them. Storing fields in a
+//! `BTreeMap<u32, u64>` puts an ordered-map lookup on that path. This
+//! module instead assigns every *known* field encoding (all constants in
+//! [`super::field`]) a dense slot index at compile time, so `Vmcs` can
+//! keep field values in a flat array and `ShadowFieldSet` can answer
+//! coverage queries with a single bitset test.
+//!
+//! The mapping is a direct-index table: encodings span `0x0000..=0x6C16`,
+//! so a byte table of that size (built in a `const` context) maps any
+//! encoding to its slot in O(1) with no hashing and no branches beyond a
+//! bounds check. Unknown encodings (there are none in-tree, but the
+//! `Vmcs` API accepts arbitrary `u32`s) fall back to an overflow map in
+//! `Vmcs` itself.
+
+use super::field as f;
+
+/// Every known VMCS field encoding, sorted ascending. The position of an
+/// encoding in this array is its *slot*.
+///
+/// Sorted order matters: it lets `Vmcs::iter` yield fields in encoding
+/// order (the `BTreeMap` contract the rest of the tree relies on) by a
+/// simple linear walk merged with the overflow map.
+pub const SLOT_ENCODINGS: [u32; NUM_SLOTS] = [
+    f::VPID,
+    f::POSTED_INTR_NOTIFICATION_VECTOR,
+    f::GUEST_CS_SELECTOR,
+    f::MSR_BITMAP_ADDR,
+    f::TSC_OFFSET,
+    f::VIRTUAL_APIC_PAGE_ADDR,
+    f::POSTED_INTR_DESC_ADDR,
+    f::EPT_POINTER,
+    f::VMREAD_BITMAP_ADDR,
+    f::VMWRITE_BITMAP_ADDR,
+    f::GUEST_PHYSICAL_ADDRESS,
+    f::VMCS_LINK_POINTER,
+    f::DVH_EXEC_CONTROLS,
+    f::DVH_VTIMER_DEADLINE,
+    f::DVH_VTIMER_VECTOR,
+    f::DVH_VCIMTAR,
+    f::PIN_BASED_EXEC_CONTROLS,
+    f::CPU_BASED_EXEC_CONTROLS,
+    f::EXCEPTION_BITMAP,
+    f::VM_EXIT_CONTROLS,
+    f::VM_ENTRY_CONTROLS,
+    f::VM_ENTRY_INTR_INFO,
+    f::VM_ENTRY_INSTRUCTION_LEN,
+    f::SECONDARY_EXEC_CONTROLS,
+    f::VM_INSTRUCTION_ERROR,
+    f::VM_EXIT_REASON,
+    f::VM_EXIT_INTR_INFO,
+    f::VM_EXIT_INTR_ERROR_CODE,
+    f::IDT_VECTORING_INFO,
+    f::IDT_VECTORING_ERROR_CODE,
+    f::VM_EXIT_INSTRUCTION_LEN,
+    f::VM_EXIT_INSTRUCTION_INFO,
+    f::GUEST_INTERRUPTIBILITY,
+    f::GUEST_ACTIVITY_STATE,
+    f::PREEMPTION_TIMER_VALUE,
+    f::EXIT_QUALIFICATION,
+    f::GUEST_LINEAR_ADDRESS,
+    f::GUEST_CR3,
+    f::GUEST_RSP,
+    f::GUEST_RIP,
+    f::GUEST_RFLAGS,
+    f::HOST_RIP,
+];
+
+/// Number of known field encodings. Must stay ≤ 64 so a slot set fits in
+/// a single `u64` bitset (`Vmcs::written`, `ShadowFieldSet` coverage).
+pub const NUM_SLOTS: usize = 42;
+
+/// Sentinel in [`SLOT_TABLE`] for "encoding has no slot".
+const NO_SLOT: u8 = 0xFF;
+
+/// Direct-index table: `SLOT_TABLE[encoding] == slot`, or [`NO_SLOT`].
+const TABLE_SIZE: usize = f::HOST_RIP as usize + 1;
+
+static SLOT_TABLE: [u8; TABLE_SIZE] = build_slot_table();
+
+const fn build_slot_table() -> [u8; TABLE_SIZE] {
+    let mut table = [NO_SLOT; TABLE_SIZE];
+    let mut slot = 0;
+    while slot < NUM_SLOTS {
+        let enc = SLOT_ENCODINGS[slot] as usize;
+        assert!(
+            table[enc] == NO_SLOT,
+            "duplicate encoding in SLOT_ENCODINGS"
+        );
+        if slot > 0 {
+            assert!(
+                SLOT_ENCODINGS[slot - 1] < SLOT_ENCODINGS[slot],
+                "SLOT_ENCODINGS must be sorted ascending"
+            );
+        }
+        table[enc] = slot as u8;
+        slot += 1;
+    }
+    table
+}
+
+/// Maps a field encoding to its dense slot, or `None` for encodings not
+/// known to the architecture model.
+#[inline(always)]
+pub fn slot_of(field: u32) -> Option<usize> {
+    if (field as usize) < TABLE_SIZE {
+        let s = SLOT_TABLE[field as usize];
+        if s != NO_SLOT {
+            return Some(s as usize);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_encoding_round_trips_through_its_slot() {
+        for (slot, enc) in SLOT_ENCODINGS.iter().enumerate() {
+            assert_eq!(slot_of(*enc), Some(slot), "encoding {enc:#x}");
+        }
+    }
+
+    #[test]
+    fn unknown_encodings_have_no_slot() {
+        assert_eq!(slot_of(0x0004), None);
+        assert_eq!(slot_of(0x7000), None);
+        assert_eq!(slot_of(u32::MAX), None);
+    }
+
+    #[test]
+    fn slot_count_fits_a_u64_bitset() {
+        const { assert!(NUM_SLOTS <= 64) };
+        assert_eq!(SLOT_ENCODINGS.len(), NUM_SLOTS);
+    }
+
+    #[test]
+    fn merge_and_dirty_field_lists_are_fully_dense() {
+        // The hot vmcs12 merge paths must never hit the overflow map.
+        for enc in f::VMCS12_MERGE_FIELDS.iter().chain(f::VMCS12_DIRTY_FIELDS) {
+            assert!(slot_of(*enc).is_some(), "{enc:#x} missing from slot table");
+        }
+    }
+}

@@ -4,12 +4,17 @@
 //! run.
 
 use dvh_bench::harness;
+use dvh_bench::parallel;
 
 fn main() {
+    // Every experiment cell is an independent deterministic
+    // simulation; fan them across host cores. Output is byte-identical
+    // at any worker count.
+    let workers = parallel::available_workers();
     println!("DVH reproduction — full evaluation (deterministic)\n");
 
     println!("Table 3: microbenchmarks (cycles; paper values in parentheses)");
-    let rows = harness::table3();
+    let rows = harness::table3_with_workers(workers);
     for (m, p) in rows.iter().zip(harness::TABLE3_PAPER.iter()) {
         println!(
             "  {:<18} hc {:>9} ({:>9})  dev {:>9} ({:>9})  timer {:>9} ({:>9})  ipi {:>7} ({:>7})",
@@ -26,12 +31,8 @@ fn main() {
     }
     println!();
 
-    for fig in [
-        harness::fig7(),
-        harness::fig8(),
-        harness::fig9(),
-        harness::fig10(),
-    ] {
+    for n in [7, 8, 9, 10] {
+        let fig = harness::figure_with_workers(n, workers).expect("figure is defined");
         harness::print_figure(&fig);
         println!();
     }

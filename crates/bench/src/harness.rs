@@ -65,6 +65,15 @@ pub const TABLE3_PAPER: [Table3Row; 5] = [
 
 /// Runs Table 3: the four microbenchmarks in the five configurations.
 pub fn table3() -> Vec<Table3Row> {
+    table3_with_workers(1)
+}
+
+/// [`table3`] with the five configurations fanned out over `workers`
+/// OS threads. Each configuration's machine is built and run entirely
+/// inside its worker; only the plain-data [`MachineConfig`] crosses
+/// the thread boundary, and rows come back in canonical config order,
+/// so the result is identical to the serial one.
+pub fn table3_with_workers(workers: usize) -> Vec<Table3Row> {
     let configs: [(&'static str, MachineConfig); 5] = [
         ("VM", MachineConfig::baseline(1)),
         ("nested VM", MachineConfig::baseline(2)),
@@ -72,20 +81,17 @@ pub fn table3() -> Vec<Table3Row> {
         ("L3 VM", MachineConfig::baseline(3)),
         ("L3 VM + DVH", MachineConfig::dvh(3)),
     ];
-    configs
-        .into_iter()
-        .map(|(name, cfg)| {
-            let mut m = Machine::build(cfg);
-            let r = run_micro(&mut m, 5);
-            Table3Row {
-                config: name,
-                hypercall: r.hypercall,
-                dev_notify: r.dev_notify,
-                program_timer: r.program_timer,
-                send_ipi: r.send_ipi,
-            }
-        })
-        .collect()
+    crate::parallel::pmap_with_workers(workers, &configs, |(name, cfg)| {
+        let mut m = Machine::build(cfg.clone());
+        let r = run_micro(&mut m, 5);
+        Table3Row {
+            config: name,
+            hypercall: r.hypercall,
+            dev_notify: r.dev_notify,
+            program_timer: r.program_timer,
+            send_ipi: r.send_ipi,
+        }
+    })
 }
 
 /// A figure row: one application's overhead in each configuration.
@@ -108,23 +114,56 @@ pub struct Figure {
     pub rows: Vec<FigRow>,
 }
 
+impl Figure {
+    /// Renders the figure as CSV: a header row, then one row per
+    /// application with overheads to four decimal places. This is the
+    /// canonical byte representation the determinism test compares
+    /// across worker counts.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("app,{}\n", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.overheads.iter().map(|o| format!("{o:.4}")).collect();
+            out.push_str(&format!("{},{}\n", row.app, cells.join(",")));
+        }
+        out
+    }
+}
+
 fn run_figure(title: &'static str, configs: Vec<(&'static str, MachineConfig)>) -> Figure {
-    let columns = configs.iter().map(|(n, _)| *n).collect();
+    run_figure_with_workers(title, configs, 1)
+}
+
+/// Runs one figure with its (application, configuration) cross
+/// product fanned out over `workers` OS threads.
+///
+/// Every cell is an independent single-threaded simulation — it
+/// builds its own [`Machine`] from a cloned config inside the worker
+/// and shares nothing — so scheduling order cannot affect any cell's
+/// result, and reassembling the flat results in (row, column) order
+/// makes the whole figure byte-identical to a serial run.
+fn run_figure_with_workers(
+    title: &'static str,
+    configs: Vec<(&'static str, MachineConfig)>,
+    workers: usize,
+) -> Figure {
+    let columns: Vec<&'static str> = configs.iter().map(|(n, _)| *n).collect();
+    // Flatten to one work item per cell: cells differ ~30x in cost
+    // (VM vs L3), so scheduling cells — not rows — keeps all workers
+    // busy until the tail.
+    let cells: Vec<(AppId, MachineConfig)> = AppId::ALL
+        .iter()
+        .flat_map(|app| configs.iter().map(move |(_, cfg)| (*app, cfg.clone())))
+        .collect();
+    let overheads = crate::parallel::pmap_with_workers(workers, &cells, |(app, cfg)| {
+        let mut m = Machine::build(cfg.clone());
+        run_app(&mut m, &app.mix(), APP_TXNS).overhead
+    });
     let rows = AppId::ALL
         .iter()
-        .map(|app| {
-            let mix = app.mix();
-            let overheads = configs
-                .iter()
-                .map(|(_, cfg)| {
-                    let mut m = Machine::build(cfg.clone());
-                    run_app(&mut m, &mix, APP_TXNS).overhead
-                })
-                .collect();
-            FigRow {
-                app: mix.name,
-                overheads,
-            }
+        .enumerate()
+        .map(|(i, app)| FigRow {
+            app: app.mix().name,
+            overheads: overheads[i * configs.len()..(i + 1) * configs.len()].to_vec(),
         })
         .collect();
     Figure {
@@ -134,79 +173,103 @@ fn run_figure(title: &'static str, configs: Vec<(&'static str, MachineConfig)>) 
     }
 }
 
+/// The (title, configuration columns) of one application figure.
+fn figure_spec(figure: u32) -> Option<(&'static str, Vec<(&'static str, MachineConfig)>)> {
+    Some(match figure {
+        7 => (
+            "Figure 7: Application performance (overhead vs native)",
+            vec![
+                ("VM", MachineConfig::baseline(1)),
+                ("VM+PT", MachineConfig::passthrough(1)),
+                ("Nested", MachineConfig::baseline(2)),
+                ("Nested+PT", MachineConfig::passthrough(2)),
+                ("DVH-VP", MachineConfig::dvh_vp(2)),
+                ("DVH", MachineConfig::dvh(2)),
+            ],
+        ),
+        8 => {
+            let pi = DvhFlags {
+                viommu_posted_interrupts: true,
+                ..DvhFlags::NONE
+            };
+            let pi_ipi = DvhFlags {
+                virtual_ipis: true,
+                ..pi
+            };
+            let pi_ipi_t = DvhFlags {
+                virtual_timers: true,
+                ..pi_ipi
+            };
+            (
+                "Figure 8: Application performance breakdown (incremental DVH)",
+                vec![
+                    ("Nested", MachineConfig::baseline(2)),
+                    ("DVH-VP", MachineConfig::dvh_vp(2)),
+                    ("+PI", MachineConfig::dvh_partial(2, pi)),
+                    ("+vIPI", MachineConfig::dvh_partial(2, pi_ipi)),
+                    ("+vtimer", MachineConfig::dvh_partial(2, pi_ipi_t)),
+                    ("+vidle", MachineConfig::dvh(2)),
+                ],
+            )
+        }
+        9 => (
+            "Figure 9: Application performance in L3 VM (overhead vs native)",
+            vec![
+                ("VM", MachineConfig::baseline(1)),
+                ("VM+PT", MachineConfig::passthrough(1)),
+                ("L3", MachineConfig::baseline(3)),
+                ("L3+PT", MachineConfig::passthrough(3)),
+                ("L3+DVH-VP", MachineConfig::dvh_vp(3)),
+                ("L3+DVH", MachineConfig::dvh(3)),
+            ],
+        ),
+        10 => (
+            "Figure 10: Application performance, Xen guest hypervisor on KVM",
+            vec![
+                ("VM", MachineConfig::baseline(1)),
+                ("VM+PT", MachineConfig::passthrough(1)),
+                ("Nested(Xen)", MachineConfig::baseline(2).with_xen_guest()),
+                ("Nested+PT", MachineConfig::passthrough(2).with_xen_guest()),
+                ("DVH-VP", MachineConfig::dvh_vp(2).with_xen_guest()),
+            ],
+        ),
+        _ => return None,
+    })
+}
+
+/// Regenerates figure 7, 8, 9, or 10 with its cells fanned out over
+/// `workers` threads (`None` for an unknown figure number). The
+/// figure is byte-identical at any worker count.
+pub fn figure_with_workers(figure: u32, workers: usize) -> Option<Figure> {
+    figure_spec(figure).map(|(title, configs)| run_figure_with_workers(title, configs, workers))
+}
+
 /// Fig. 7: application performance at two virtualization levels,
 /// six configurations.
 pub fn fig7() -> Figure {
-    run_figure(
-        "Figure 7: Application performance (overhead vs native)",
-        vec![
-            ("VM", MachineConfig::baseline(1)),
-            ("VM+PT", MachineConfig::passthrough(1)),
-            ("Nested", MachineConfig::baseline(2)),
-            ("Nested+PT", MachineConfig::passthrough(2)),
-            ("DVH-VP", MachineConfig::dvh_vp(2)),
-            ("DVH", MachineConfig::dvh(2)),
-        ],
-    )
+    let (title, configs) = figure_spec(7).expect("figure 7 is defined");
+    run_figure(title, configs)
 }
 
 /// Fig. 8: the incremental DVH technique breakdown.
 pub fn fig8() -> Figure {
-    let pi = DvhFlags {
-        viommu_posted_interrupts: true,
-        ..DvhFlags::NONE
-    };
-    let pi_ipi = DvhFlags {
-        virtual_ipis: true,
-        ..pi
-    };
-    let pi_ipi_t = DvhFlags {
-        virtual_timers: true,
-        ..pi_ipi
-    };
-    run_figure(
-        "Figure 8: Application performance breakdown (incremental DVH)",
-        vec![
-            ("Nested", MachineConfig::baseline(2)),
-            ("DVH-VP", MachineConfig::dvh_vp(2)),
-            ("+PI", MachineConfig::dvh_partial(2, pi)),
-            ("+vIPI", MachineConfig::dvh_partial(2, pi_ipi)),
-            ("+vtimer", MachineConfig::dvh_partial(2, pi_ipi_t)),
-            ("+vidle", MachineConfig::dvh(2)),
-        ],
-    )
+    let (title, configs) = figure_spec(8).expect("figure 8 is defined");
+    run_figure(title, configs)
 }
 
 /// Fig. 9: application performance with three levels of
 /// virtualization.
 pub fn fig9() -> Figure {
-    run_figure(
-        "Figure 9: Application performance in L3 VM (overhead vs native)",
-        vec![
-            ("VM", MachineConfig::baseline(1)),
-            ("VM+PT", MachineConfig::passthrough(1)),
-            ("L3", MachineConfig::baseline(3)),
-            ("L3+PT", MachineConfig::passthrough(3)),
-            ("L3+DVH-VP", MachineConfig::dvh_vp(3)),
-            ("L3+DVH", MachineConfig::dvh(3)),
-        ],
-    )
+    let (title, configs) = figure_spec(9).expect("figure 9 is defined");
+    run_figure(title, configs)
 }
 
 /// Fig. 10: the Xen guest hypervisor on a KVM host (DVH-VP only — Xen
 /// is DVH-unaware, but virtual-passthrough needs no guest hypervisor
 /// modifications).
 pub fn fig10() -> Figure {
-    run_figure(
-        "Figure 10: Application performance, Xen guest hypervisor on KVM",
-        vec![
-            ("VM", MachineConfig::baseline(1)),
-            ("VM+PT", MachineConfig::passthrough(1)),
-            ("Nested(Xen)", MachineConfig::baseline(2).with_xen_guest()),
-            ("Nested+PT", MachineConfig::passthrough(2).with_xen_guest()),
-            ("DVH-VP", MachineConfig::dvh_vp(2).with_xen_guest()),
-        ],
-    )
+    let (title, configs) = figure_spec(10).expect("figure 10 is defined");
+    run_figure(title, configs)
 }
 
 /// One migration experiment result.

@@ -21,5 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod harness;
+pub mod parallel;
 pub mod tinybench;

@@ -44,6 +44,131 @@ pub fn exercise(m: &mut Machine) {
     m.hypercall(0);
 }
 
+/// One pinned ledger row: what [`exercise`] must produce on a fresh
+/// machine of the named Fig. 7 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedFixture {
+    /// Configuration name (matches [`fig7_configs`]).
+    pub name: &'static str,
+    /// Total hardware exits.
+    pub exits: u64,
+    /// Total guest-hypervisor interventions.
+    pub interventions: u64,
+    /// Total DVH interceptions.
+    pub dvh: u64,
+    /// Total cycles attributed to outermost exits.
+    pub cycles: u64,
+    /// CPU 0's simulated clock after the workload.
+    pub now0: u64,
+}
+
+/// The ledger [`exercise`] produced on every Fig. 7 configuration
+/// *before* the engine's storage/dispatch optimizations (dense VMCS
+/// slots, dense exit ledger, lazy tracing) landed. The optimizations
+/// claim to change how fast the simulator runs and nothing else; this
+/// pass holds them to it, bit for bit. A mismatch means an
+/// "optimization" changed simulated behavior — reject it.
+pub const PINNED_FIG7: [PinnedFixture; 6] = [
+    PinnedFixture {
+        name: "fig7/vm",
+        exits: 10,
+        interventions: 0,
+        dvh: 0,
+        cycles: 31_761,
+        now0: 35_483,
+    },
+    PinnedFixture {
+        name: "fig7/vm-pt",
+        exits: 8,
+        interventions: 0,
+        dvh: 0,
+        cycles: 19_211,
+        now0: 22_388,
+    },
+    PinnedFixture {
+        name: "fig7/nested",
+        exits: 160,
+        interventions: 13,
+        dvh: 0,
+        cycles: 518_027,
+        now0: 490_974,
+    },
+    PinnedFixture {
+        name: "fig7/nested-pt",
+        exits: 122,
+        interventions: 10,
+        dvh: 0,
+        cycles: 384_742,
+        now0: 355_089,
+    },
+    PinnedFixture {
+        name: "fig7/nested-dvh-vp",
+        exits: 119,
+        interventions: 10,
+        dvh: 0,
+        cycles: 378_336,
+        now0: 350_378,
+    },
+    PinnedFixture {
+        name: "fig7/nested-dvh",
+        exits: 32,
+        interventions: 2,
+        dvh: 3,
+        cycles: 112_981,
+        now0: 116_703,
+    },
+];
+
+/// Runs [`exercise`] on a fresh machine per configuration (checking
+/// and tracing off — exactly how the fixture was captured) and
+/// compares every ledger total against [`PINNED_FIG7`].
+pub fn check_pinned_fixture() -> Vec<Violation> {
+    let mut out = Vec::new();
+    let configs = fig7_configs();
+    for pinned in PINNED_FIG7 {
+        let Some((_, config)) = configs.iter().find(|(n, _)| *n == pinned.name) else {
+            out.push(Violation {
+                pass: crate::Pass::Fixture,
+                rule: "pinned-config-exists",
+                location: pinned.name.to_string(),
+                detail: "pinned fixture has no matching fig7 configuration".into(),
+            });
+            continue;
+        };
+        let mut m = Machine::build(config.clone());
+        exercise(&mut m);
+        let w = m.world_mut();
+        let got = [
+            ("exits", w.stats.total_exits(), pinned.exits),
+            (
+                "interventions",
+                w.stats.total_interventions(),
+                pinned.interventions,
+            ),
+            ("dvh", w.stats.total_dvh_intercepts(), pinned.dvh),
+            (
+                "cycles",
+                w.stats.total_attributed_cycles().as_u64(),
+                pinned.cycles,
+            ),
+            ("now0", w.now(0).as_u64(), pinned.now0),
+        ];
+        for (what, actual, expected) in got {
+            if actual != expected {
+                out.push(Violation {
+                    pass: crate::Pass::Fixture,
+                    rule: "ledger-matches-pinned",
+                    location: pinned.name.to_string(),
+                    detail: format!(
+                        "{what} = {actual}, pinned pre-optimization fixture says {expected}"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Builds a machine for `config`, arms checking and tracing, runs the
 /// standard workload, and returns all vmentry- and trace-pass
 /// violations (empty = certified).
@@ -79,6 +204,16 @@ pub fn run_all(source_root: Option<&Path>) -> std::io::Result<Report> {
             violations,
         );
     }
+    let pinned = check_pinned_fixture();
+    report.add(
+        format!(
+            "pinned fixture: {} configuration(s), {} violation(s)",
+            PINNED_FIG7.len(),
+            pinned.len()
+        ),
+        "pinned-fixture",
+        pinned,
+    );
     if let Some(root) = source_root {
         let outcome = lint_sources(root)?;
         report.add(
@@ -104,5 +239,11 @@ mod tests {
             let violations = check_machine(config);
             assert!(violations.is_empty(), "{name}: {:?}", violations);
         }
+    }
+
+    #[test]
+    fn engine_matches_pinned_pre_optimization_fixture() {
+        let violations = check_pinned_fixture();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 }

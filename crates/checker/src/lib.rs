@@ -45,6 +45,9 @@ pub enum Pass {
     Trace,
     /// Source-code linting.
     Source,
+    /// Pinned-fixture certification (simulated results must be
+    /// bit-for-bit identical to the pre-optimization engine's).
+    Fixture,
 }
 
 impl fmt::Display for Pass {
@@ -53,6 +56,7 @@ impl fmt::Display for Pass {
             Pass::Vmentry => "vmentry",
             Pass::Trace => "trace",
             Pass::Source => "source",
+            Pass::Fixture => "fixture",
         })
     }
 }

@@ -17,6 +17,11 @@
 //!   level-typed variables in hypervisor dispatch paths, which panic
 //!   on a bad level instead of reporting it (allowed only in
 //!   `world.rs`, whose accessors document their bounds).
+//! - `clone-on-exit-path` — `.clone()` in non-test `exits.rs` code.
+//!   The exit engine runs millions of times per sweep and is
+//!   allocation-free by design (dense VMCS slots, index-iterated
+//!   profile lists); a clone on this path is a per-exit heap
+//!   allocation and goes through review, not past it.
 //!
 //! Lines inside `#[cfg(test)]` blocks and comment lines are skipped
 //! (by repo convention test modules sit at the bottom of each file).
@@ -89,8 +94,10 @@ pub fn lint_file_text(display_path: &str, text: &str) -> Vec<Violation> {
     let normalized = display_path.replace('\\', "/");
     let in_hypervisor = normalized.contains("hypervisor/src");
     let is_world = in_hypervisor && normalized.ends_with("world.rs");
+    let is_exits = in_hypervisor && normalized.ends_with("exits.rs");
     // Built at runtime so the linter's own source never matches.
     let vmcs_needle = format!("{}{}", ".vmcs", "[");
+    let clone_needle = format!("{}{}", ".clone", "()");
     let level_needles: Vec<String> = LEVEL_NAMES.iter().map(|n| format!("[{n}]")).collect();
 
     let mut out = Vec::new();
@@ -111,6 +118,17 @@ pub fn lint_file_text(display_path: &str, text: &str) -> Vec<Violation> {
                 detail: "debug_assert! in exit-engine code is compiled out of \
                          release builds; promote it to assert! or a checker \
                          invariant"
+                    .into(),
+            });
+        }
+        if is_exits && trimmed.contains(&clone_needle) {
+            out.push(Violation {
+                pass: Pass::Source,
+                rule: "clone-on-exit-path",
+                location: loc(),
+                detail: "the exit engine is allocation-free by design; a \
+                         .clone() here is a per-exit heap allocation — iterate \
+                         by index or borrow instead"
                     .into(),
             });
         }
@@ -203,6 +221,25 @@ mod tests {
             "fn f(&mut self, cpu: usize) {\n    self.timers[cpu].arm(1);\n}\n",
         );
         assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn clone_in_exit_engine_flagged() {
+        let code = format!(
+            "fn f(&mut self) {{\n    let hot = self.profile.hot_reads{}{};\n}}\n",
+            ".clone", "()"
+        );
+        let vs = lint_file_text("crates/hypervisor/src/exits.rs", &code);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "clone-on-exit-path");
+        // Other hypervisor files may clone (e.g. config plumbing).
+        assert!(lint_file_text("crates/hypervisor/src/config.rs", &code).is_empty());
+        // Test modules in exits.rs may clone.
+        let test_only = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn g(v: &Vec<u32>) {{ let _ = v{}{}; }}\n}}\n",
+            ".clone", "()"
+        );
+        assert!(lint_file_text("crates/hypervisor/src/exits.rs", &test_only).is_empty());
     }
 
     #[test]

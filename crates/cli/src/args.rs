@@ -122,6 +122,20 @@ pub enum Command {
     Sweep {
         /// Figure number.
         figure: u32,
+        /// Worker threads (0 = one per host core). The CSV is
+        /// byte-identical at any worker count.
+        workers: usize,
+    },
+    /// Benchmark the simulator engine itself (exits/second and sweep
+    /// wall-clock), emitting `BENCH_engine.json`.
+    BenchEngine {
+        /// Smaller loop and fewer repeats, for CI smoke runs.
+        quick: bool,
+        /// Where to write the JSON result (`None` = don't write).
+        out: Option<String>,
+        /// Baseline JSON to compare against (>25% exit-rate drop
+        /// fails the command).
+        baseline: Option<String>,
     },
     /// Dump the full event trace of one operation.
     Trace {
@@ -268,8 +282,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "no figure {figure} (expected 7|8|9|10)"
                 )));
             }
-            Ok(Command::Sweep { figure })
+            Ok(Command::Sweep {
+                figure,
+                workers: opts.usize_of("--workers", 0)?,
+            })
         }
+        "bench-engine" => Ok(Command::BenchEngine {
+            quick: opts.has("--quick"),
+            out: opts.value_of("--out").map(str::to_string),
+            baseline: opts.value_of("--baseline").map(str::to_string),
+        }),
         "check" => {
             // check gates CI, so unlike the exploratory subcommands it
             // rejects anything it does not understand: a typo'd flag
@@ -318,7 +340,8 @@ USAGE:
   dvh migrate [--config ...] [--with-hypervisor]
   dvh results <file.csv> ...
   dvh explain [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
-  dvh sweep   [--figure 7|8|9|10]
+  dvh sweep   [--figure 7|8|9|10] [--workers N]
+  dvh bench-engine [--quick] [--out FILE] [--baseline FILE]
   dvh trace   [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
   dvh check   [--source-root DIR] [--no-source]
   dvh help

@@ -167,31 +167,37 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 ),
             )
         }
-        Command::Sweep { figure } => {
-            let fig = match figure {
-                7 => dvh_bench::harness::fig7(),
-                8 => dvh_bench::harness::fig8(),
-                9 => dvh_bench::harness::fig9(),
-                10 => dvh_bench::harness::fig10(),
-                _ => unreachable!("validated at parse time"),
+        Command::Sweep { figure, workers } => {
+            let workers = if workers == 0 {
+                dvh_bench::parallel::available_workers()
+            } else {
+                workers
             };
-            w(
-                out,
-                format!(
-                    "app,{}
-",
-                    fig.columns.join(",")
-                ),
-            )?;
-            for row in &fig.rows {
-                let cells: Vec<String> = row.overheads.iter().map(|o| format!("{o:.4}")).collect();
+            let fig = dvh_bench::harness::figure_with_workers(figure, workers)
+                .expect("validated at parse time");
+            w(out, fig.to_csv())
+        }
+        Command::BenchEngine {
+            quick,
+            out: out_path,
+            baseline,
+        } => {
+            let r = dvh_bench::engine::run(quick);
+            w(out, r.to_report())?;
+            if let Some(path) = out_path {
+                std::fs::write(&path, r.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                w(out, format!("wrote {path}\n"))?;
+            }
+            if let Some(path) = baseline {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let b = dvh_bench::engine::Baseline::parse(&text)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                dvh_bench::engine::check_regression(&r, &b, 0.25)?;
                 w(
                     out,
                     format!(
-                        "{},{}
-",
-                        row.app,
-                        cells.join(",")
+                        "within 25% of baseline ({:.2}M exits/s)\n",
+                        b.exit_rate / 1e6
                     ),
                 )?;
             }

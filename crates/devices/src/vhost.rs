@@ -52,29 +52,51 @@ impl DmaTranslate for dvh_memory::iommu_pt::ShadowIoTable {
     }
 }
 
-/// Reads `len` bytes from device-visible address `addr` through `xl`.
+/// Reads from device-visible address `addr` through `xl` into a
+/// caller-provided buffer. This is the allocation-free primitive the
+/// TX fast path gathers payloads with.
 ///
 /// # Errors
 ///
 /// Propagates translation faults; partial reads do not occur (the
 /// whole transfer is validated page by page as hardware does).
+pub fn dma_read_into(
+    mem: &SparseMemory,
+    xl: &mut dyn DmaTranslate,
+    addr: Gpa,
+    out: &mut [u8],
+) -> Result<(), TranslateErr> {
+    let mut cur = addr.raw();
+    let mut filled = 0;
+    while filled < out.len() {
+        let off = cur & (PAGE_SIZE - 1);
+        let n = (out.len() - filled).min((PAGE_SIZE - off) as usize);
+        let host_pfn = xl.dma_pfn(cur >> 12, Perms::RO)?;
+        mem.read_into(
+            Gpa::from_pfn(host_pfn).offset(off),
+            &mut out[filled..filled + n],
+        );
+        cur += n as u64;
+        filled += n;
+    }
+    Ok(())
+}
+
+/// Reads `len` bytes from device-visible address `addr` through `xl`.
+/// Thin allocating wrapper around [`dma_read_into`], kept for tests
+/// and cold paths.
+///
+/// # Errors
+///
+/// Propagates translation faults; partial reads do not occur.
 pub fn dma_read(
     mem: &SparseMemory,
     xl: &mut dyn DmaTranslate,
     addr: Gpa,
     len: usize,
 ) -> Result<Vec<u8>, TranslateErr> {
-    let mut out = Vec::with_capacity(len);
-    let mut cur = addr.raw();
-    let mut remaining = len;
-    while remaining > 0 {
-        let off = cur & (PAGE_SIZE - 1);
-        let n = remaining.min((PAGE_SIZE - off) as usize);
-        let host_pfn = xl.dma_pfn(cur >> 12, Perms::RO)?;
-        out.extend(mem.read(Gpa::from_pfn(host_pfn).offset(off), n));
-        cur += n as u64;
-        remaining -= n;
-    }
+    let mut out = vec![0u8; len];
+    dma_read_into(mem, xl, addr, &mut out)?;
     Ok(out)
 }
 
@@ -146,16 +168,26 @@ impl VhostNet {
     ) -> Vec<Frame> {
         let mut frames = Vec::new();
         while let Some(chain) = q.pop_avail() {
-            let mut payload = Vec::new();
+            // Size the payload once from the chain's readable length and
+            // gather each descriptor directly into its slice: one
+            // allocation per frame (the Frame owns its bytes), zero per
+            // descriptor.
+            let readable: usize = chain
+                .descs
+                .iter()
+                .filter(|d| !d.device_writes)
+                .map(|d| d.len as usize)
+                .sum();
+            let mut payload = vec![0u8; readable];
+            let mut filled = 0;
             let mut ok = true;
             for d in chain.descs.iter().filter(|d| !d.device_writes) {
-                match dma_read(mem, xl, d.addr, d.len as usize) {
-                    Ok(bytes) => payload.extend(bytes),
-                    Err(_) => {
-                        ok = false;
-                        break;
-                    }
+                let n = d.len as usize;
+                if dma_read_into(mem, xl, d.addr, &mut payload[filled..filled + n]).is_err() {
+                    ok = false;
+                    break;
                 }
+                filled += n;
             }
             if ok {
                 self.stats.tx_bytes += payload.len() as u64;

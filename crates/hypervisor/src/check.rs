@@ -57,11 +57,21 @@ impl World {
     }
 
     /// A simulated VM entry into the VMCS owned by `level` on `cpu`:
-    /// validates the entered VMCS when checking is enabled.
+    /// validates the entered VMCS when checking is enabled. The
+    /// disabled path — every entry of a production run — is a single
+    /// inlined branch; validation itself stays out of line so it does
+    /// not bloat the exit engine's hot loop.
+    #[inline(always)]
     pub(crate) fn on_vmentry(&mut self, level: usize, cpu: usize) {
         if !self.vmentry_checks {
             return;
         }
+        self.validate_entry(level, cpu);
+    }
+
+    /// Out-of-line checking-enabled path of [`World::on_vmentry`].
+    #[inline(never)]
+    fn validate_entry(&mut self, level: usize, cpu: usize) {
         let caps = self.dvh_advertised;
         let violations = validate_vmentry(self.vmcs(level, cpu), caps);
         self.vmentry_findings

@@ -57,9 +57,8 @@ impl World {
         if let Some(t0) = t0 {
             let spent = self.now(cpu) - t0;
             self.stats.attribute_cycles(from_level, reason, spent);
-            let at = self.now(cpu);
-            self.trace(|| crate::trace::TraceEvent::Completed {
-                at,
+            self.trace(|w| crate::trace::TraceEvent::Completed {
+                at: w.now(cpu),
                 cpu,
                 from_level,
                 reason,
@@ -79,15 +78,14 @@ impl World {
         // are charged) so a Completed event's `spent` equals exactly
         // `completed.at - exit.at` for outermost exits.
         self.stats.record_exit(from_level, reason);
-        let at = self.now(cpu);
-        let vmcs_field =
-            matches!(reason, ExitReason::Vmread | ExitReason::Vmwrite).then_some(qual.vmcs_field);
-        self.trace(|| crate::trace::TraceEvent::Exit {
-            at,
+        let qual_field = qual.vmcs_field;
+        self.trace(|w| crate::trace::TraceEvent::Exit {
+            at: w.now(cpu),
             cpu,
             from_level,
             reason,
-            vmcs_field,
+            vmcs_field: matches!(reason, ExitReason::Vmread | ExitReason::Vmwrite)
+                .then_some(qual_field),
         });
         self.compute(cpu, self.costs.vmexit_to_root);
         self.compute(cpu, self.costs.l0_dispatch);
@@ -114,27 +112,31 @@ impl World {
             self.l0_handle(cpu, from_level, reason, &qual);
             return;
         }
-        // DVH extensions (virtual hardware) get the next chance.
-        let mut exts = std::mem::take(&mut self.extensions);
-        let mut handled = None;
-        for e in exts.iter_mut() {
-            if e.try_intercept(self, cpu, from_level, reason, &qual)
-                == crate::extension::Intercept::Handled
-            {
-                handled = Some(e.name());
-                break;
+        // DVH extensions (virtual hardware) get the next chance. The
+        // take/restore dance (needed so extensions can re-enter the
+        // world) is skipped entirely when no extension is registered —
+        // the common case for non-DVH configurations, on the hot path.
+        if !self.extensions.is_empty() {
+            let mut exts = std::mem::take(&mut self.extensions);
+            let mut handled = None;
+            for e in exts.iter_mut() {
+                if e.try_intercept(self, cpu, from_level, reason, &qual)
+                    == crate::extension::Intercept::Handled
+                {
+                    handled = Some(e.name());
+                    break;
+                }
             }
-        }
-        self.extensions = exts;
-        if let Some(name) = handled {
-            self.stats.record_dvh(name);
-            let at = self.now(cpu);
-            self.trace(|| crate::trace::TraceEvent::DvhIntercept {
-                at,
-                cpu,
-                mechanism: name,
-            });
-            return;
+            self.extensions = exts;
+            if let Some(name) = handled {
+                self.stats.record_dvh(name);
+                self.trace(|w| crate::trace::TraceEvent::DvhIntercept {
+                    at: w.now(cpu),
+                    cpu,
+                    mechanism: name,
+                });
+                return;
+            }
         }
         // Otherwise: reflect to the guest hypervisor that owns the VM.
         self.reflect(from_level, cpu, reason, qual);
@@ -342,9 +344,8 @@ impl World {
             "cannot reflect an exit to L0 (owner must be >= 1)"
         );
         self.stats.record_intervention(owner);
-        let at = self.now(cpu);
-        self.trace(|| crate::trace::TraceEvent::Intervention {
-            at,
+        self.trace(|w| crate::trace::TraceEvent::Intervention {
+            at: w.now(cpu),
             cpu,
             hv_level: owner,
             reason,
@@ -424,12 +425,20 @@ impl World {
     /// The exit-side world-switch program of the hypervisor at
     /// `level` ≥ 1 (see [`crate::profile::HvProfile`]).
     pub(crate) fn exit_side_program(&mut self, level: usize, cpu: usize) {
-        let hot = self.profile.hot_reads.clone();
-        let cold = self.profile.cold_reads.clone();
-        for f in hot {
+        // Iterate the profile's field lists by index: `hv_vmread` takes
+        // `&mut self` (it may recursively vmexit and re-enter this very
+        // function for an intermediate level), so the lists cannot be
+        // borrowed across the call — but copying out one `u32` per step
+        // keeps this allocation-free where it used to clone both Vecs
+        // on every single exit.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.profile.hot_reads.len() {
+            let f = self.profile.hot_reads[i];
             self.hv_vmread(level, cpu, f);
         }
-        for f in cold {
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.profile.cold_reads.len() {
+            let f = self.profile.cold_reads[i];
             self.hv_vmread(level, cpu, f);
         }
         for _ in 0..self.profile.exit_msr_reads {
@@ -441,13 +450,17 @@ impl World {
     /// The entry-side world-switch program of the hypervisor at
     /// `level` ≥ 1.
     pub(crate) fn entry_side_program(&mut self, level: usize, cpu: usize) {
-        let hot = self.profile.hot_writes.clone();
-        let cold = self.profile.cold_writes.clone();
-        for f in hot {
+        // Index iteration for the same reentrancy reason as
+        // `exit_side_program`: no per-exit clone of the field lists.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.profile.hot_writes.len() {
+            let f = self.profile.hot_writes[i];
             let v = self.vmcs(level, cpu).read(f);
             self.hv_vmwrite(level, cpu, f, v);
         }
-        for f in cold {
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.profile.cold_writes.len() {
+            let f = self.profile.cold_writes[i];
             let v = self.vmcs(level, cpu).read(f);
             self.hv_vmwrite(level, cpu, f, v);
         }

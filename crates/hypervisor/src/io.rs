@@ -88,10 +88,17 @@ impl World {
                     for d in &chain.descs {
                         let iova = d.addr.pfn();
                         match self.phys_iommu.translate(vf, iova, dvh_memory::Perms::RO) {
-                            Ok(host_pfn) => payload.extend(self.host_mem.read(
-                                Gpa::from_pfn(host_pfn).offset(d.addr.page_offset()),
-                                d.len as usize,
-                            )),
+                            // Grow the frame once per descriptor and
+                            // gather in place — no temporary Vec per
+                            // DMA read.
+                            Ok(host_pfn) => {
+                                let start = payload.len();
+                                payload.resize(start + d.len as usize, 0);
+                                self.host_mem.read_into(
+                                    Gpa::from_pfn(host_pfn).offset(d.addr.page_offset()),
+                                    &mut payload[start..],
+                                );
+                            }
                             // A faulting DMA is dropped by the IOMMU;
                             // the frame never reaches the wire.
                             Err(_) => faulted = true,

@@ -100,9 +100,8 @@ impl World {
                 self.lapic[dest].accept(v);
             }
             self.leaf_service_interrupts(dest);
-            let at = self.now(dest);
-            self.trace(|| crate::trace::TraceEvent::IrqDelivered {
-                at,
+            self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
+                at: w.now(dest),
                 cpu: dest,
                 vector,
                 woke: true,
@@ -118,9 +117,8 @@ impl World {
                 self.lapic[dest].accept(v);
             }
             self.leaf_service_interrupts(dest);
-            let at = self.now(dest);
-            self.trace(|| crate::trace::TraceEvent::IrqDelivered {
-                at,
+            self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
+                at: w.now(dest),
                 cpu: dest,
                 vector,
                 woke,
@@ -156,9 +154,8 @@ impl World {
                 self.stats.injected_interrupts += 1;
             }
         }
-        let at = self.now(dest);
-        self.trace(|| crate::trace::TraceEvent::IrqDelivered {
-            at,
+        self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
+            at: w.now(dest),
             cpu: dest,
             vector,
             woke,

@@ -6,6 +6,172 @@ use dvh_arch::Cycles;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// One row per level in [`ExitLedger`]: a slot for every basic exit
+/// reason number (the largest architectural discriminant we model is
+/// [`ExitReason::ApicWrite`] = 56).
+const REASON_SLOTS: usize = 57;
+
+/// Dense per-(level, reason) exit counters.
+///
+/// `record` is on the engine's innermost path (once per simulated
+/// hardware exit), so the ledger is a flat `Vec` indexed by
+/// `level * REASON_SLOTS + reason.number()` instead of an ordered map.
+/// Iteration yields only touched entries, sorted by `(level, reason)`
+/// exactly like the `BTreeMap<(usize, ExitReason), u64>` it replaced:
+/// `ExitReason`'s derived `Ord` compares discriminants, which are the
+/// reason numbers the row is indexed by.
+#[derive(Debug, Clone, Default)]
+pub struct ExitLedger {
+    counts: Vec<u64>,
+}
+
+impl ExitLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> ExitLedger {
+        ExitLedger::default()
+    }
+
+    /// Increments the counter for (`level`, `reason`), growing the
+    /// level rows on first use.
+    #[inline(always)]
+    pub fn record(&mut self, level: usize, reason: ExitReason) {
+        let idx = level * REASON_SLOTS + reason.number() as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize((level + 1) * REASON_SLOTS, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// The count for (`level`, `reason`).
+    pub fn get(&self, level: usize, reason: ExitReason) -> u64 {
+        self.counts
+            .get(level * REASON_SLOTS + reason.number() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum over all levels and reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum over all reasons for one level.
+    pub fn level_total(&self, level: usize) -> u64 {
+        let start = (level * REASON_SLOTS).min(self.counts.len());
+        let end = ((level + 1) * REASON_SLOTS).min(self.counts.len());
+        self.counts[start..end].iter().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&n| n == 0)
+    }
+
+    /// Iterates touched `((level, reason), count)` entries in
+    /// `(level, reason)` order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, ExitReason), u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(idx, &n)| {
+            if n == 0 {
+                return None;
+            }
+            let level = idx / REASON_SLOTS;
+            let reason = ExitReason::from_number((idx % REASON_SLOTS) as u16)
+                .expect("ledger row holds only valid reason numbers");
+            Some(((level, reason), n))
+        })
+    }
+
+    /// Adds every entry of `other` into this ledger.
+    pub fn merge(&mut self, other: &ExitLedger) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+impl PartialEq for ExitLedger {
+    fn eq(&self, other: &ExitLedger) -> bool {
+        // Trailing all-zero rows are representation artifacts, not
+        // content; compare touched entries only.
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ExitLedger {}
+
+/// Dense per-level intervention counters, indexed directly by the
+/// guest hypervisor's level. Like [`ExitLedger`] this sits on the
+/// reflection path (once per delivered exit), so it is a flat `Vec`
+/// rather than an ordered map; iteration order and equality match the
+/// `BTreeMap<usize, u64>` it replaced.
+#[derive(Debug, Clone, Default)]
+pub struct InterventionLedger {
+    counts: Vec<u64>,
+}
+
+impl InterventionLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> InterventionLedger {
+        InterventionLedger::default()
+    }
+
+    /// Increments the counter for `level`, growing on first use.
+    #[inline(always)]
+    pub fn record(&mut self, level: usize) {
+        if let Some(c) = self.counts.get_mut(level) {
+            *c += 1;
+        } else {
+            // Cold: first intervention at this level.
+            self.counts.resize(level + 1, 0);
+            *self.counts.last_mut().expect("just resized to level + 1") += 1;
+        }
+    }
+
+    /// The count for `level`.
+    pub fn get(&self, level: usize) -> u64 {
+        self.counts.get(level).copied().unwrap_or(0)
+    }
+
+    /// Sum over all levels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&n| n == 0)
+    }
+
+    /// Iterates touched `(level, count)` entries in level order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(level, &n)| if n == 0 { None } else { Some((level, n)) })
+    }
+
+    /// Adds every entry of `other` into this ledger.
+    pub fn merge(&mut self, other: &InterventionLedger) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+impl PartialEq for InterventionLedger {
+    fn eq(&self, other: &InterventionLedger) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for InterventionLedger {}
+
 /// Statistics accumulated while a simulated machine runs.
 ///
 /// The exit ledger is the backbone of the test suite: DVH claims are
@@ -17,11 +183,11 @@ pub struct RunStats {
     /// Hardware exits, keyed by (exiting level, reason). Every exit
     /// lands at L0 first (single-level architectural support); this
     /// records where it came *from*.
-    pub exits: BTreeMap<(usize, ExitReason), u64>,
-    /// Exits that were delivered to a guest hypervisor at the keyed
+    pub exits: ExitLedger,
+    /// Exits that were delivered to a guest hypervisor at the indexed
     /// level (1-based) — the "guest hypervisor interventions" the paper
     /// counts as the root cause of nested overhead.
-    pub interventions: BTreeMap<usize, u64>,
+    pub interventions: InterventionLedger,
     /// Exits handled entirely by L0 on behalf of a nested VM thanks to
     /// a DVH mechanism.
     pub dvh_intercepts: BTreeMap<&'static str, u64>,
@@ -47,13 +213,15 @@ impl RunStats {
     }
 
     /// Records a hardware exit from `level` with `reason`.
+    #[inline(always)]
     pub fn record_exit(&mut self, level: usize, reason: ExitReason) {
-        *self.exits.entry((level, reason)).or_insert(0) += 1;
+        self.exits.record(level, reason);
     }
 
     /// Records delivery of an exit to the guest hypervisor at `level`.
+    #[inline(always)]
     pub fn record_intervention(&mut self, level: usize) {
-        *self.interventions.entry(level).or_insert(0) += 1;
+        self.interventions.record(level);
     }
 
     /// Records a DVH interception by mechanism name.
@@ -76,26 +244,22 @@ impl RunStats {
 
     /// Total hardware exits from all levels.
     pub fn total_exits(&self) -> u64 {
-        self.exits.values().sum()
+        self.exits.total()
     }
 
     /// Total exits from the given level.
     pub fn exits_from_level(&self, level: usize) -> u64 {
-        self.exits
-            .iter()
-            .filter(|((l, _), _)| *l == level)
-            .map(|(_, n)| *n)
-            .sum()
+        self.exits.level_total(level)
     }
 
     /// Exits from `level` with `reason`.
     pub fn exits_with(&self, level: usize, reason: ExitReason) -> u64 {
-        self.exits.get(&(level, reason)).copied().unwrap_or(0)
+        self.exits.get(level, reason)
     }
 
     /// Total guest-hypervisor interventions (any level >= 1).
     pub fn total_interventions(&self) -> u64 {
-        self.interventions.values().sum()
+        self.interventions.total()
     }
 
     /// Total DVH interceptions.
@@ -105,12 +269,8 @@ impl RunStats {
 
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &RunStats) {
-        for (k, v) in &other.exits {
-            *self.exits.entry(*k).or_insert(0) += v;
-        }
-        for (k, v) in &other.interventions {
-            *self.interventions.entry(*k).or_insert(0) += v;
-        }
+        self.exits.merge(&other.exits);
+        self.interventions.merge(&other.interventions);
         for (k, v) in &other.dvh_intercepts {
             *self.dvh_intercepts.entry(k).or_insert(0) += v;
         }
@@ -135,7 +295,7 @@ impl fmt::Display for RunStats {
             self.posted_deliveries,
             self.injected_interrupts
         )?;
-        for ((level, reason), n) in &self.exits {
+        for ((level, reason), n) in self.exits.iter() {
             writeln!(f, "  L{level} {reason}: {n}")?;
         }
         Ok(())

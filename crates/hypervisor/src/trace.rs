@@ -161,9 +161,13 @@ pub struct Tracer {
 
 impl Tracer {
     /// Creates a tracer holding up to `capacity` events.
+    ///
+    /// The buffer is reserved up front (capped, so pathological
+    /// capacities don't allocate gigabytes eagerly) — recording an
+    /// event on the hot path never grows the Vec until the cap.
     pub fn new(capacity: usize) -> Tracer {
         Tracer {
-            events: Vec::new(),
+            events: Vec::with_capacity(capacity.min(1 << 16)),
             capacity,
             dropped: 0,
         }
@@ -193,10 +197,12 @@ impl World {
     /// Turns on tracing with the given buffer capacity.
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.tracer = Some(Tracer::new(capacity));
+        self.trace_on = true;
     }
 
     /// Stops tracing and returns the recorded events.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace_on = false;
         self.tracer.take().map(|t| t.events).unwrap_or_default()
     }
 
@@ -212,10 +218,25 @@ impl World {
         self.tracer.as_ref().map(|t| t.dropped()).unwrap_or(0)
     }
 
-    /// Records an event if tracing is enabled.
-    pub(crate) fn trace(&mut self, e: impl FnOnce() -> TraceEvent) {
+    /// Records an event if tracing is enabled. The disabled path is a
+    /// single inlined branch on [`World::trace_on`]; the closure gets
+    /// `&World` so event construction (timestamps and all) is fully
+    /// lazy — with tracing off, none of it is evaluated and the
+    /// optimizer can delete the capture setup at every call site.
+    #[inline(always)]
+    pub(crate) fn trace(&mut self, e: impl FnOnce(&World) -> TraceEvent) {
+        if !self.trace_on {
+            return;
+        }
+        self.trace_record(e);
+    }
+
+    /// Out-of-line tracing-enabled path of [`World::trace`].
+    #[inline(never)]
+    fn trace_record(&mut self, e: impl FnOnce(&World) -> TraceEvent) {
+        let event = e(self);
         if let Some(t) = self.tracer.as_mut() {
-            t.record(e());
+            t.record(event);
         }
     }
 }

@@ -125,6 +125,10 @@ pub struct World {
     /// microbenchmark (Table 3 discussion).
     pub(crate) mmio_doorbell_cached: bool,
     pub(crate) tracer: Option<Tracer>,
+    /// Cached `tracer.is_some()`: the per-event enabled check in the
+    /// exit engine is a single branch on this bool, not an `Option`
+    /// discriminant load behind a method call.
+    pub(crate) trace_on: bool,
     /// In-flight block request (bytes), if a blk doorbell chain is
     /// being processed; see `io.rs`.
     pub(crate) pending_blk_bytes: Option<u64>,
@@ -271,6 +275,7 @@ impl World {
             extensions: Vec::new(),
             mmio_doorbell_cached: false,
             tracer: None,
+            trace_on: false,
             pending_blk_bytes: None,
             poll_idle: false,
             runnable_sibling_vms: 0,
@@ -421,12 +426,14 @@ impl World {
     }
 
     /// Current simulated time of CPU `cpu`.
+    #[inline(always)]
     pub fn now(&self, cpu: usize) -> Cycles {
         self.cpus[cpu].now()
     }
 
     /// Charges `c` cycles of native-speed execution on `cpu`.
     /// Compute never traps, regardless of privilege level.
+    #[inline(always)]
     pub fn compute(&mut self, cpu: usize, c: Cycles) {
         self.cpus[cpu].advance(c);
     }
@@ -459,11 +466,13 @@ impl World {
     /// # Panics
     ///
     /// Panics if `owner >= levels` or `cpu` is out of range.
+    #[inline(always)]
     pub fn vmcs(&self, owner: usize, cpu: usize) -> &Vmcs {
         &self.vmcs[owner][cpu]
     }
 
     /// Mutable access; see [`World::vmcs`].
+    #[inline(always)]
     pub fn vmcs_mut(&mut self, owner: usize, cpu: usize) -> &mut Vmcs {
         &mut self.vmcs[owner][cpu]
     }
@@ -520,6 +529,7 @@ impl World {
     // a hypervisor's vmread/vmwrite is its current one: vmcs[level][cpu].
 
     /// `vmread` of `f` by the hypervisor at `level`.
+    #[inline]
     pub fn hv_vmread(&mut self, level: usize, cpu: usize, f: u32) -> u64 {
         if level == 0 {
             self.compute(cpu, self.costs.vmread);
@@ -537,6 +547,7 @@ impl World {
     }
 
     /// `vmwrite` of `f = v` by the hypervisor at `level`.
+    #[inline]
     pub fn hv_vmwrite(&mut self, level: usize, cpu: usize, f: u32, v: u64) {
         if level == 0 {
             self.compute(cpu, self.costs.vmwrite);

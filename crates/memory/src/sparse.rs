@@ -56,28 +56,62 @@ impl SparseMemory {
         }
     }
 
-    /// Reads `len` bytes starting at `gpa`.
-    pub fn read(&self, gpa: Gpa, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
+    /// Reads into a caller-provided buffer starting at `gpa`, crossing
+    /// pages as needed. Unmaterialized ranges read as zeroes.
+    ///
+    /// This is the allocation-free primitive behind [`read`]: DMA-style
+    /// hot paths (virtio payload gather, NIC frame copy, vhost) call it
+    /// with a reused or pre-sized buffer instead of allocating a fresh
+    /// `Vec` per descriptor.
+    ///
+    /// [`read`]: SparseMemory::read
+    pub fn read_into(&self, gpa: Gpa, out: &mut [u8]) {
         let mut addr = gpa.raw();
-        let mut remaining = len;
-        while remaining > 0 {
+        let mut filled = 0;
+        while filled < out.len() {
             let pfn = addr >> 12;
             let off = (addr & (PAGE_SIZE - 1)) as usize;
-            let n = remaining.min(PAGE_SIZE as usize - off);
+            let n = (out.len() - filled).min(PAGE_SIZE as usize - off);
+            let dst = &mut out[filled..filled + n];
             match self.pages.get(&pfn) {
-                Some(p) => out.extend_from_slice(&p[off..off + n]),
-                None => out.extend(std::iter::repeat_n(0, n)),
+                Some(p) => dst.copy_from_slice(&p[off..off + n]),
+                None => dst.fill(0),
             }
-            remaining -= n;
+            filled += n;
             addr += n as u64;
         }
+    }
+
+    /// Reads `len` bytes starting at `gpa`. Thin allocating wrapper
+    /// around [`SparseMemory::read_into`], kept for tests and cold
+    /// paths.
+    pub fn read(&self, gpa: Gpa, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_into(gpa, &mut out);
         out
     }
 
-    /// Copies one whole page out (zeroes if untouched).
+    /// Borrows one materialized page, or `None` if the page has never
+    /// been written (i.e. it reads as all zeroes).
+    pub fn page(&self, pfn: u64) -> Option<&[u8]> {
+        self.pages.get(&pfn).map(|p| &p[..])
+    }
+
+    /// Runs `f` over one page's bytes without copying. Untouched pages
+    /// are presented as a shared zero page, so `f` always sees exactly
+    /// [`PAGE_SIZE`] bytes.
+    pub fn with_page<R>(&self, pfn: u64, f: impl FnOnce(&[u8]) -> R) -> R {
+        static ZERO_PAGE: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+        match self.pages.get(&pfn) {
+            Some(p) => f(p),
+            None => f(&ZERO_PAGE),
+        }
+    }
+
+    /// Copies one whole page out (zeroes if untouched). Thin allocating
+    /// wrapper around [`SparseMemory::with_page`].
     pub fn read_page(&self, pfn: u64) -> Vec<u8> {
-        self.read(Gpa::from_pfn(pfn), PAGE_SIZE as usize)
+        self.with_page(pfn, |p| p.to_vec())
     }
 
     /// Writes one whole page.
@@ -151,5 +185,28 @@ mod tests {
     #[should_panic(expected = "page-sized")]
     fn write_page_rejects_wrong_size() {
         SparseMemory::new().write_page(0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn read_into_matches_read_across_pages() {
+        let mut ram = SparseMemory::new();
+        ram.write(Gpa::new(0x1FF0), &[9u8; 64]);
+        let mut buf = [0xAAu8; 100];
+        ram.read_into(Gpa::new(0x1FC0), &mut buf);
+        assert_eq!(buf.to_vec(), ram.read(Gpa::new(0x1FC0), 100));
+        // Unmaterialized tail must be zeroed, not left stale.
+        let mut far = [0xAAu8; 16];
+        ram.read_into(Gpa::new(0x9000), &mut far);
+        assert_eq!(far, [0u8; 16]);
+    }
+
+    #[test]
+    fn page_borrow_and_with_page() {
+        let mut ram = SparseMemory::new();
+        assert!(ram.page(5).is_none());
+        assert!(ram.with_page(5, |p| p.iter().all(|&b| b == 0)));
+        ram.write(Gpa::from_pfn(5), &[1, 2, 3]);
+        assert_eq!(&ram.page(5).unwrap()[..3], &[1, 2, 3]);
+        assert_eq!(ram.with_page(5, |p| p[1]), 2);
     }
 }

@@ -58,7 +58,9 @@ pub fn resume_on(
     // Install the memory image.
     let pfns = report.image.resident_pfns();
     for pfn in &pfns {
-        dst.host_mem.write_page(*pfn, &report.image.read_page(*pfn));
+        report
+            .image
+            .with_page(*pfn, |p| dst.host_mem.write_page(*pfn, p));
     }
     // Restore the encapsulated device state, when the configuration
     // carries one.

@@ -148,8 +148,7 @@ pub fn migrate_nested_vm(
         let page_count = pending.len() as u64 * hv_factor;
         let time = cfg.bandwidth.transfer_time(page_count * PAGE_SIZE);
         for pfn in &pending {
-            let data = w.host_mem.read_page(*pfn);
-            dest.write_page(*pfn, &data);
+            w.host_mem.with_page(*pfn, |p| dest.write_page(*pfn, p));
         }
         rounds.push(Round {
             pages: page_count,
@@ -187,8 +186,7 @@ pub fn migrate_nested_vm(
         _ => (256, None), // the owner hypervisor's own virtio state
     };
     for pfn in &pending {
-        let data = w.host_mem.read_page(*pfn);
-        dest.write_page(*pfn, &data);
+        w.host_mem.with_page(*pfn, |p| dest.write_page(*pfn, p));
     }
     let downtime_pages = pending.len() as u64;
     let downtime = cfg
@@ -204,7 +202,7 @@ pub fn migrate_nested_vm(
     let verified = dest
         .resident_pfns()
         .iter()
-        .all(|pfn| dest.read_page(*pfn) == w.host_mem.read_page(*pfn));
+        .all(|pfn| dest.with_page(*pfn, |a| w.host_mem.with_page(*pfn, |b| a == b)));
 
     Ok(MigrationReport {
         rounds,

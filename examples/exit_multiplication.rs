@@ -40,10 +40,10 @@ fn main() {
     println!("\nExit ledger for ONE L3 hypercall:");
     let stats = &m.world().stats;
     let mut by_reason: Vec<(ExitReason, u64)> = Vec::new();
-    for ((_, reason), n) in &stats.exits {
-        match by_reason.iter_mut().find(|(r, _)| r == reason) {
+    for ((_, reason), n) in stats.exits.iter() {
+        match by_reason.iter_mut().find(|(r, _)| *r == reason) {
             Some((_, total)) => *total += n,
-            None => by_reason.push((*reason, *n)),
+            None => by_reason.push((reason, n)),
         }
     }
     by_reason.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
@@ -51,8 +51,6 @@ fn main() {
         println!("  {reason:<20} {n:>6}");
     }
     println!("  total exits: {}", stats.total_exits());
-    println!(
-        "  guest-hypervisor interventions: {:?}",
-        stats.interventions
-    );
+    let interventions: Vec<(usize, u64)> = stats.interventions.iter().collect();
+    println!("  guest-hypervisor interventions: {interventions:?}");
 }

@@ -92,8 +92,8 @@ fn every_hardware_exit_comes_from_a_real_level() {
     m.hypercall(0);
     m.program_timer(0);
     m.send_ipi(0, 1);
-    for (level, _) in m.world().stats.exits.keys() {
-        assert!(*level >= 1 && *level <= 3);
+    for ((level, _), _) in m.world().stats.exits.iter() {
+        assert!((1..=3).contains(&level));
     }
 }
 
