@@ -94,6 +94,41 @@ impl Cycles {
     }
 }
 
+/// Upper bounds (inclusive) of the fixed histogram buckets every
+/// cycle-valued metric shares: powers of two from 256 cycles (~116 ns,
+/// below any single world switch) to 8M cycles (~3.8 ms, past a whole
+/// pre-copy round). A fixed geometric ladder keeps histograms from
+/// different runs, levels, and sweep cells directly comparable and
+/// mergeable bucket by bucket.
+pub const CYCLE_BUCKET_BOUNDS: [u64; 16] = [
+    1 << 8,
+    1 << 9,
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+];
+
+/// The bucket index a value falls in: the first bound it does not
+/// exceed, or the overflow bucket [`CYCLE_BUCKET_BOUNDS::len`] past the
+/// last bound. Total bucket count is `CYCLE_BUCKET_BOUNDS.len() + 1`.
+pub fn cycle_bucket_index(value: u64) -> usize {
+    CYCLE_BUCKET_BOUNDS
+        .iter()
+        .position(|&bound| value <= bound)
+        .unwrap_or(CYCLE_BUCKET_BOUNDS.len())
+}
+
 impl fmt::Display for Cycles {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} cycles", self.0)
@@ -212,5 +247,20 @@ mod tests {
     fn secs_conversion() {
         let one_sec = Cycles::new(Cycles::FREQ_HZ);
         assert!((one_sec.as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(cycle_bucket_index(0), 0);
+        assert_eq!(cycle_bucket_index(256), 0);
+        assert_eq!(cycle_bucket_index(257), 1);
+        assert_eq!(cycle_bucket_index(1 << 23), CYCLE_BUCKET_BOUNDS.len() - 1);
+        // Past the last bound: the overflow bucket.
+        assert_eq!(cycle_bucket_index((1 << 23) + 1), CYCLE_BUCKET_BOUNDS.len());
+        assert_eq!(cycle_bucket_index(u64::MAX), CYCLE_BUCKET_BOUNDS.len());
+        // Bounds are strictly increasing (histograms rely on it).
+        for pair in CYCLE_BUCKET_BOUNDS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
     }
 }

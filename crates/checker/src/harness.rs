@@ -2,6 +2,7 @@
 //! checking and tracing enabled, then runs every pass. This is what
 //! `dvh check` executes.
 
+use crate::metrics_lint::{lint_chrome_export, lint_metrics};
 use crate::source_lint::lint_sources;
 use crate::trace_lint::{lint_trace, TraceContext};
 use crate::{Report, Violation};
@@ -169,17 +170,18 @@ pub fn check_pinned_fixture() -> Vec<Violation> {
     out
 }
 
-/// Builds a machine for `config`, arms checking and tracing, runs the
-/// standard workload, and returns all vmentry- and trace-pass
-/// violations (empty = certified).
+/// Builds a machine for `config`, arms checking, tracing, and metrics,
+/// runs the standard workload, and returns all vmentry-, trace-, and
+/// metrics-pass violations (empty = certified).
 pub fn check_machine(config: MachineConfig) -> Vec<Violation> {
     let mut m = Machine::build(config);
     {
         let w = m.world_mut();
         w.enable_tracing(TRACE_CAPACITY);
+        w.enable_metrics();
         w.enable_vmentry_checks();
-        // Stats and trace must cover the same window for cycle
-        // conservation to be exact.
+        // Stats, trace, and metrics must cover the same window for
+        // cycle conservation to be exact.
         w.reset_stats();
     }
     exercise(&mut m);
@@ -187,19 +189,32 @@ pub fn check_machine(config: MachineConfig) -> Vec<Violation> {
     let mut out = crate::vmentry::check_world(w);
     let ctx = TraceContext::for_world(w);
     out.extend(lint_trace(w.trace_events(), &ctx));
+    if let Some(reg) = w.metrics() {
+        out.extend(lint_metrics(reg, &w.stats));
+    }
+    out.extend(lint_chrome_export(
+        w.trace_events(),
+        w.num_cpus(),
+        w.leaf_level(),
+        &w.stats,
+    ));
     out
 }
 
-/// Runs all three passes: the vmentry and trace passes over every
-/// Fig. 7 configuration, and the source lint over `source_root` when
-/// given (pass the repo root; `None` skips the source pass, e.g. when
-/// running from an installed binary with no checkout around).
+/// Runs every pass: vmentry, trace, and metrics over each Fig. 7
+/// configuration, the pinned fixture, and the source lint over
+/// `source_root` when given (pass the repo root; `None` skips the
+/// source pass, e.g. when running from an installed binary with no
+/// checkout around).
 pub fn run_all(source_root: Option<&Path>) -> std::io::Result<Report> {
     let mut report = Report::new();
     for (name, config) in fig7_configs() {
         let violations = check_machine(config);
         report.add(
-            format!("vmentry+trace {name}: {} violation(s)", violations.len()),
+            format!(
+                "vmentry+trace+metrics {name}: {} violation(s)",
+                violations.len()
+            ),
             name,
             violations,
         );

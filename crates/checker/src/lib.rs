@@ -1,7 +1,7 @@
 //! # dvh-checker
 //!
 //! Static analysis and invariant verification for the DVH simulator's
-//! exit engine. Three passes, all runnable from `dvh check` and from
+//! exit engine. Four passes, all runnable from `dvh check` and from
 //! the test suite:
 //!
 //! 1. **VM-entry consistency** ([`vmentry`]): every simulated VM entry
@@ -22,6 +22,13 @@
 //!    `debug_assert!` in exit-path code, raw VMCS container indexing
 //!    that bypasses the tracked accessors, and unchecked level-keyed
 //!    indexing in hypervisor dispatch paths.
+//! 4. **Metrics conservation** ([`metrics_lint`]): certifies the
+//!    dvh-obs observability layer against the engine's own ledgers —
+//!    the registry's per-(level, reason) exit cycle totals must equal
+//!    [`dvh_hypervisor::RunStats::cycles_by_reason`] key for key in
+//!    both directions, every histogram must be internally consistent,
+//!    and the serialized Chrome trace export must round-trip with
+//!    outermost span durations summing to the same ledger.
 //!
 //! The [`harness`] module ties the first two passes to representative
 //! workloads (the paper's Fig. 7 configurations) for `dvh check`.
@@ -30,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod metrics_lint;
 pub mod source_lint;
 pub mod trace_lint;
 pub mod vmentry;
@@ -48,6 +56,9 @@ pub enum Pass {
     /// Pinned-fixture certification (simulated results must be
     /// bit-for-bit identical to the pre-optimization engine's).
     Fixture,
+    /// Metrics-conservation certification (the dvh-obs registry and
+    /// trace export must agree with the engine's attribution ledger).
+    Metrics,
 }
 
 impl fmt::Display for Pass {
@@ -57,6 +68,7 @@ impl fmt::Display for Pass {
             Pass::Trace => "trace",
             Pass::Source => "source",
             Pass::Fixture => "fixture",
+            Pass::Metrics => "metrics",
         })
     }
 }

@@ -1,0 +1,221 @@
+//! The metrics-conservation pass: certifies the dvh-obs observability
+//! layer against the exit engine's own accounting.
+//!
+//! The observability layer records a *parallel* ledger — every
+//! `attribute_cycles` call in the engine has a metrics twin
+//! (`observe_exit`), and the Chrome trace export re-derives the same
+//! totals a third way from serialized spans. This pass proves all
+//! three agree, key for key:
+//!
+//! - `exit-cycles-conserved`: the registry's per-(level, reason) exit
+//!   cycle totals equal [`RunStats::cycles_by_reason`] in both
+//!   directions — no missing keys, no phantom keys, no drift.
+//! - `histogram-consistent`: every histogram's bucket counts sum to
+//!   its observation count (the invariant `Histogram::is_consistent`
+//!   encodes).
+//! - `chrome-round-trip` / `chrome-spans-conserved`: the serialized
+//!   Chrome trace document parses back to an identical document, and
+//!   its `outermost: true` span durations sum to the attribution
+//!   ledger exactly.
+//!
+//! A violation here means the observability layer is lying about where
+//! cycles went — the one failure mode a profiling tool must not have.
+
+use crate::{Pass, Violation};
+use dvh_hypervisor::trace_export::{chrome_json, chrome_outermost_totals};
+use dvh_hypervisor::{RunStats, TraceEvent};
+use dvh_obs::json;
+use dvh_obs::MetricsRegistry;
+
+/// Checks the registry's exit cycle totals against the engine ledger
+/// (both directions) and every histogram's internal consistency.
+pub fn lint_metrics(reg: &MetricsRegistry, stats: &RunStats) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let observed = reg.exit_cycle_totals();
+    let ledger = &stats.cycles_by_reason;
+
+    for ((level, reason), cycles) in ledger {
+        match observed.get(&(*level, *reason)) {
+            None => out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "exit-cycles-conserved",
+                location: format!("L{level} {reason}"),
+                detail: format!(
+                    "ledger attributes {} cycles but the metrics registry has no entry",
+                    cycles.as_u64()
+                ),
+            }),
+            Some(got) if got != cycles => out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "exit-cycles-conserved",
+                location: format!("L{level} {reason}"),
+                detail: format!(
+                    "metrics registry has {} cycles, ledger says {}",
+                    got.as_u64(),
+                    cycles.as_u64()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for ((level, reason), cycles) in &observed {
+        if !ledger.contains_key(&(*level, *reason)) {
+            out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "exit-cycles-conserved",
+                location: format!("L{level} {reason}"),
+                detail: format!(
+                    "metrics registry has {} cycles for a key the ledger never attributed",
+                    cycles.as_u64()
+                ),
+            });
+        }
+    }
+
+    for (key, h) in reg.histograms() {
+        if !h.is_consistent() {
+            out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "histogram-consistent",
+                location: key.to_string(),
+                detail: format!(
+                    "bucket counts sum to {} but the histogram recorded {} observations",
+                    h.buckets().iter().sum::<u64>(),
+                    h.count()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Serializes the trace as a Chrome document, parses it back, and
+/// certifies both the round trip and that the outermost span durations
+/// sum to the attribution ledger — the export path itself is what gets
+/// checked, not the in-memory events.
+pub fn lint_chrome_export(
+    events: &[TraceEvent],
+    num_cpus: usize,
+    levels: usize,
+    stats: &RunStats,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let text = chrome_json(events, num_cpus, levels);
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "chrome-round-trip",
+                location: "chrome export".into(),
+                detail: format!("serialized trace does not parse: {e}"),
+            });
+            return out;
+        }
+    };
+    if doc.to_json() != text {
+        out.push(Violation {
+            pass: Pass::Metrics,
+            rule: "chrome-round-trip",
+            location: "chrome export".into(),
+            detail: "parse(serialize(trace)) is not the identity".into(),
+        });
+    }
+
+    let from_json = chrome_outermost_totals(&doc);
+    let ledger = &stats.cycles_by_reason;
+    for ((level, reason), cycles) in ledger {
+        let got = from_json
+            .get(&(*level, reason.to_string()))
+            .copied()
+            .unwrap_or(0);
+        if got != cycles.as_u64() {
+            out.push(Violation {
+                pass: Pass::Metrics,
+                rule: "chrome-spans-conserved",
+                location: format!("L{level} {reason}"),
+                detail: format!(
+                    "outermost chrome spans sum to {got} cycles, ledger says {}",
+                    cycles.as_u64()
+                ),
+            });
+        }
+    }
+    if from_json.len() != ledger.len() {
+        out.push(Violation {
+            pass: Pass::Metrics,
+            rule: "chrome-spans-conserved",
+            location: "chrome export".into(),
+            detail: format!(
+                "export has {} (level, reason) span groups, ledger has {}",
+                from_json.len(),
+                ledger.len()
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvh_arch::vmx::ExitReason;
+    use dvh_arch::Cycles;
+    use dvh_core::{Machine, MachineConfig};
+
+    fn observed_machine() -> Machine {
+        let mut m = Machine::build(MachineConfig::dvh(2));
+        {
+            let w = m.world_mut();
+            w.enable_tracing(1 << 20);
+            w.enable_metrics();
+            w.reset_stats();
+        }
+        m.hypercall(0);
+        m.net_tx(0, 4, 1500);
+        m.idle_round(0);
+        m
+    }
+
+    #[test]
+    fn clean_run_has_no_metrics_violations() {
+        let mut m = observed_machine();
+        let w = m.world_mut();
+        let reg = w.metrics().expect("metrics enabled");
+        assert!(lint_metrics(reg, &w.stats).is_empty());
+        let violations =
+            lint_chrome_export(w.trace_events(), w.num_cpus(), w.leaf_level(), &w.stats);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn tampered_registry_is_caught_both_directions() {
+        let mut m = observed_machine();
+        let w = m.world_mut();
+        let stats = w.stats.clone();
+        let mut reg = w.take_metrics().expect("metrics enabled");
+        // A phantom key the ledger never attributed...
+        reg.observe_exit(3, ExitReason::Hlt, Cycles::new(7));
+        let phantom = lint_metrics(&reg, &stats);
+        assert!(phantom.iter().any(|v| v.pass == Pass::Metrics
+            && v.rule == "exit-cycles-conserved"
+            && v.detail.contains("never attributed")));
+        // ...and drift on a key both sides know about.
+        let ((level, reason), _) = stats.cycles_by_reason.iter().next().expect("some exits");
+        reg.observe_exit(*level, *reason, Cycles::new(1));
+        let drifted = lint_metrics(&reg, &stats);
+        assert!(drifted.len() > phantom.len());
+    }
+
+    #[test]
+    fn missing_ledger_key_is_caught() {
+        let mut m = observed_machine();
+        let w = m.world_mut();
+        let reg = MetricsRegistry::new();
+        let violations = lint_metrics(&reg, &w.stats);
+        assert!(!violations.is_empty());
+        assert!(violations
+            .iter()
+            .all(|v| v.rule == "exit-cycles-conserved" && v.detail.contains("no entry")));
+    }
+}

@@ -57,6 +57,34 @@ impl fmt::Display for CliConfig {
     }
 }
 
+/// Output format for `dvh trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One human-readable line per event (the default).
+    #[default]
+    Text,
+    /// A Chrome trace-event JSON document (load in `about:tracing`
+    /// or Perfetto; one process per simulated CPU, one thread track
+    /// per virtualization level).
+    Chrome,
+    /// One JSON object per line.
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// Parses `text`, `chrome`, or `jsonl`.
+    pub fn parse(s: &str) -> Result<TraceFormat, ParseError> {
+        match s {
+            "text" => Ok(TraceFormat::Text),
+            "chrome" => Ok(TraceFormat::Chrome),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            other => Err(ParseError(format!(
+                "unknown trace format '{other}' (expected text|chrome|jsonl)"
+            ))),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -137,14 +165,42 @@ pub enum Command {
         /// fails the command).
         baseline: Option<String>,
     },
-    /// Dump the full event trace of one operation.
+    /// Dump the full event trace of one operation or application run.
     Trace {
-        /// Operation: hypercall|timer|ipi|devnotify.
+        /// Operation: hypercall|timer|ipi|devnotify (ignored when
+        /// `app` is given).
         op: String,
+        /// Trace a full application benchmark instead of one
+        /// operation.
+        app: Option<AppId>,
+        /// Transactions when tracing an application.
+        txns: u32,
         /// Virtualization level.
         level: usize,
         /// VM configuration.
         config: CliConfig,
+        /// Output format.
+        format: TraceFormat,
+    },
+    /// Profile cycle attribution: top-N (level, reason) rows from the
+    /// dvh-obs metrics registry.
+    Profile {
+        /// Operation: hypercall|timer|ipi|devnotify (ignored when
+        /// `app` is given).
+        op: String,
+        /// Profile a full application benchmark instead of one
+        /// operation.
+        app: Option<AppId>,
+        /// Transactions when profiling an application.
+        txns: u32,
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+        /// Rows to show.
+        top: usize,
+        /// Also dump the deterministic full-registry snapshot.
+        snapshot: bool,
     },
     /// Run the dvh-checker invariant passes.
     Check {
@@ -267,8 +323,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }),
         "trace" => Ok(Command::Trace {
             op: opts.value_of("--op").unwrap_or("timer").to_string(),
+            app: opts.value_of("--app").map(parse_app).transpose()?,
+            txns: opts.u32_of("--txns", 40)?,
             level: opts.usize_of("--level", 2)?,
             config: opts.config()?,
+            format: match opts.value_of("--format") {
+                None => TraceFormat::Text,
+                Some(v) => TraceFormat::parse(v)?,
+            },
+        }),
+        "profile" => Ok(Command::Profile {
+            op: opts.value_of("--op").unwrap_or("timer").to_string(),
+            app: opts.value_of("--app").map(parse_app).transpose()?,
+            txns: opts.u32_of("--txns", 40)?,
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+            top: opts.usize_of("--top", 10)?,
+            snapshot: opts.has("--snapshot"),
         }),
         "explain" => Ok(Command::Explain {
             op: opts.value_of("--op").unwrap_or("timer").to_string(),
@@ -342,7 +413,10 @@ USAGE:
   dvh explain [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
   dvh sweep   [--figure 7|8|9|10] [--workers N]
   dvh bench-engine [--quick] [--out FILE] [--baseline FILE]
-  dvh trace   [--op hypercall|timer|ipi|devnotify] [--level N] [--config ...]
+  dvh trace   [--op hypercall|timer|ipi|devnotify | --app NAME [--txns N]]
+              [--level N] [--config ...] [--format text|chrome|jsonl]
+  dvh profile [--op hypercall|timer|ipi|devnotify | --app NAME [--txns N]]
+              [--level N] [--config ...] [--top N] [--snapshot]
   dvh check   [--source-root DIR] [--no-source]
   dvh help
 ";
@@ -435,6 +509,62 @@ mod tests {
             "netperf-rr",
         ] {
             assert!(parse_app(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn parse_trace_formats_and_targets() {
+        match parse(&v(&["trace", "--format", "chrome", "--app", "rr"])).unwrap() {
+            Command::Trace {
+                format, app, txns, ..
+            } => {
+                assert_eq!(format, TraceFormat::Chrome);
+                assert_eq!(app, Some(dvh_workloads::AppId::NetperfRr));
+                assert_eq!(txns, 40);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["trace"])).unwrap() {
+            Command::Trace { format, app, .. } => {
+                assert_eq!(format, TraceFormat::Text);
+                assert_eq!(app, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["trace", "--format", "svg"])).is_err());
+        assert!(parse(&v(&["trace", "--app", "frob"])).is_err());
+    }
+
+    #[test]
+    fn parse_profile_defaults_and_flags() {
+        match parse(&v(&["profile"])).unwrap() {
+            Command::Profile {
+                op, top, snapshot, ..
+            } => {
+                assert_eq!(op, "timer");
+                assert_eq!(top, 10);
+                assert!(!snapshot);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&[
+            "profile",
+            "--app",
+            "apache",
+            "--top",
+            "3",
+            "--snapshot",
+        ]))
+        .unwrap()
+        {
+            Command::Profile {
+                app, top, snapshot, ..
+            } => {
+                assert_eq!(app, Some(dvh_workloads::AppId::Apache));
+                assert_eq!(top, 3);
+                assert!(snapshot);
+            }
+            other => panic!("{other:?}"),
         }
     }
 

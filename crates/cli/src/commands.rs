@@ -1,9 +1,11 @@
 //! Command implementations for the `dvh` binary.
 
-use crate::args::Command;
+use crate::args::{Command, TraceFormat};
 use crate::results::{to_csv, ResultFile};
 use dvh_core::Machine;
+use dvh_hypervisor::trace_export;
 use dvh_migration::{migrate_nested_vm, MigrationConfig};
+use dvh_obs::profile::{exit_profile, render_profile};
 use dvh_workloads::{run_app, run_micro, AppId};
 
 /// Executes a parsed command, writing human or CSV output to `out`.
@@ -140,18 +142,78 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 Err(e) => Err(format!("migration failed: {e}")),
             }
         }
-        Command::Trace { op, level, config } => {
+        Command::Trace {
+            op,
+            app,
+            txns,
+            level,
+            config,
+            format,
+        } => {
             let mut m = Machine::build(config.machine_config(level));
-            m.world_mut().enable_tracing(1 << 16);
-            run_named_op(&mut m, &op)?;
-            for e in m.world_mut().take_trace() {
-                w(
-                    out,
-                    format!(
-                        "{e}
-"
-                    ),
-                )?;
+            m.world_mut().enable_tracing(1 << 20);
+            match app {
+                Some(app) => {
+                    run_app(&mut m, &app.mix(), txns);
+                }
+                None => {
+                    run_named_op(&mut m, &op)?;
+                }
+            }
+            let events = m.world_mut().take_trace();
+            match format {
+                TraceFormat::Text => {
+                    for e in &events {
+                        w(out, format!("{e}\n"))?;
+                    }
+                    Ok(())
+                }
+                TraceFormat::Chrome => {
+                    let world = m.world();
+                    w(
+                        out,
+                        trace_export::chrome_json(&events, world.num_cpus(), world.leaf_level()),
+                    )?;
+                    w(out, "\n".to_string())
+                }
+                TraceFormat::Jsonl => w(out, trace_export::jsonl(&events)),
+            }
+        }
+        Command::Profile {
+            op,
+            app,
+            txns,
+            level,
+            config,
+            top,
+            snapshot,
+        } => {
+            let (reg, header) = match app {
+                Some(app) => {
+                    let (reg, overhead) =
+                        dvh_bench::harness::profile_cell(app, config.machine_config(level), txns);
+                    (
+                        reg,
+                        format!(
+                            "{} at L{level} ({config}): overhead {overhead:.2}x vs native\n",
+                            app.mix().name
+                        ),
+                    )
+                }
+                None => {
+                    let mut m = Machine::build(config.machine_config(level));
+                    m.world_mut().enable_metrics();
+                    let cost = run_named_op(&mut m, &op)?;
+                    m.world_mut().export_device_metrics();
+                    let reg = m.world_mut().take_metrics().unwrap_or_default();
+                    (reg, format!("{op} at L{level} ({config}): {cost}\n"))
+                }
+            };
+            w(out, header)?;
+            w(out, render_profile(&exit_profile(&reg, top)))?;
+            if snapshot {
+                w(out, "\n".to_string())?;
+                w(out, reg.snapshot())?;
             }
             Ok(())
         }
@@ -376,16 +438,105 @@ mod tests {
         assert!(out.contains("MsrWrite"));
     }
 
-    #[test]
-    fn trace_lists_events() {
-        let out = execute_to_string(Command::Trace {
+    fn trace_cmd(format: TraceFormat) -> Command {
+        Command::Trace {
             op: "timer".into(),
+            app: None,
+            txns: 40,
             level: 2,
             config: CliConfig::Base,
-        })
-        .unwrap();
+            format,
+        }
+    }
+
+    #[test]
+    fn trace_lists_events() {
+        let out = execute_to_string(trace_cmd(TraceFormat::Text)).unwrap();
         assert!(out.lines().count() > 10);
         assert!(out.contains("exit L2 MsrWrite"));
+    }
+
+    #[test]
+    fn trace_chrome_round_trips_through_parser() {
+        let out = execute_to_string(trace_cmd(TraceFormat::Chrome)).unwrap();
+        let doc = dvh_obs::json::parse(out.trim_end()).expect("chrome export must parse");
+        assert_eq!(doc.to_json(), out.trim_end());
+        let spans = trace_export::chrome_outermost_totals(&doc);
+        assert!(!spans.is_empty());
+    }
+
+    #[test]
+    fn trace_jsonl_lines_parse() {
+        let out = execute_to_string(trace_cmd(TraceFormat::Jsonl)).unwrap();
+        assert!(out.lines().count() > 10);
+        for line in out.lines() {
+            dvh_obs::json::parse(line).expect("every jsonl line must parse");
+        }
+    }
+
+    #[test]
+    fn trace_app_runs_a_benchmark() {
+        let out = execute_to_string(Command::Trace {
+            op: "timer".into(),
+            app: Some(AppId::NetperfRr),
+            txns: 5,
+            level: 2,
+            config: CliConfig::Base,
+            format: TraceFormat::Text,
+        })
+        .unwrap();
+        assert!(out.lines().count() > 50);
+    }
+
+    #[test]
+    fn profile_op_shows_attribution_table() {
+        let out = execute_to_string(Command::Profile {
+            op: "timer".into(),
+            app: None,
+            txns: 40,
+            level: 2,
+            config: CliConfig::Base,
+            top: 10,
+            snapshot: false,
+        })
+        .unwrap();
+        assert!(out.contains("timer at L2 (base)"), "{out}");
+        assert!(out.contains("MsrWrite"), "{out}");
+        assert!(out.contains("total"), "{out}");
+    }
+
+    #[test]
+    fn profile_app_with_snapshot_is_deterministic() {
+        let run = || {
+            execute_to_string(Command::Profile {
+                op: "timer".into(),
+                app: Some(AppId::NetperfRr),
+                txns: 10,
+                level: 2,
+                config: CliConfig::Dvh,
+                top: 5,
+                snapshot: true,
+            })
+            .unwrap()
+        };
+        let out = run();
+        assert!(out.contains("Netperf RR at L2 (dvh)"), "{out}");
+        assert!(out.contains("histogram"), "{out}");
+        assert_eq!(out, run(), "profile output must be deterministic");
+    }
+
+    #[test]
+    fn profile_rejects_unknown_op() {
+        assert!(execute_to_string(Command::Profile {
+            op: "frob".into(),
+            app: None,
+            txns: 40,
+            level: 2,
+            config: CliConfig::Base,
+            top: 10,
+            snapshot: false,
+        })
+        .is_err());
     }
 
     #[test]

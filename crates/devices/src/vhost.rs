@@ -157,6 +157,23 @@ impl VhostNet {
         VhostNet::default()
     }
 
+    /// Exports the backend's lifetime counters into a metrics registry
+    /// under `tag` (e.g. `"l0-vhost"`). Absolute-value semantics:
+    /// exporting twice overwrites, never double-counts.
+    pub fn export_metrics(&self, reg: &mut dvh_obs::MetricsRegistry, tag: &'static str) {
+        use dvh_obs::metrics::names;
+        use dvh_obs::MetricKey;
+        for (name, v) in [
+            (names::VHOST_TX_PACKETS, self.stats.tx_packets),
+            (names::VHOST_RX_PACKETS, self.stats.rx_packets),
+            (names::VHOST_TX_BYTES, self.stats.tx_bytes),
+            (names::VHOST_RX_BYTES, self.stats.rx_bytes),
+            (names::VHOST_DROPPED, self.stats.dropped),
+        ] {
+            reg.set_counter(MetricKey::tagged(name, tag), v);
+        }
+    }
+
     /// Services the TX queue after a doorbell: drains all available
     /// chains, reading packet bytes through `xl`, and returns the
     /// transmitted frames. Completions are pushed to the used ring.

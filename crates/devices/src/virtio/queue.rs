@@ -8,7 +8,7 @@
 //! (v)IOMMU translating on the device side.
 
 use dvh_memory::Gpa;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// One buffer descriptor.
@@ -85,6 +85,11 @@ pub struct VirtQueue {
     used: VecDeque<UsedElem>,
     next_head: u16,
     in_flight: u16,
+    /// Descriptor count charged per in-flight chain, keyed by head, so
+    /// completion releases exactly what [`VirtQueue::add_chain`]
+    /// charged. Outstanding heads are a window of at most `size`
+    /// consecutive values, so reuse cannot collide.
+    chain_lens: BTreeMap<u16, u16>,
     /// Driver-side suppression: device should not send interrupts.
     pub no_interrupt: bool,
     /// Device-side suppression: driver need not kick.
@@ -123,6 +128,7 @@ impl VirtQueue {
             used: VecDeque::new(),
             next_head: 0,
             in_flight: 0,
+            chain_lens: BTreeMap::new(),
             no_interrupt: false,
             no_notify: false,
             kicks: 0,
@@ -139,15 +145,23 @@ impl VirtQueue {
     ///
     /// # Errors
     ///
-    /// Returns [`QueueFull`] when all descriptors are in flight.
+    /// Returns [`QueueFull`] when the chain is empty, longer than the
+    /// ring (it could never fit, and a bare `as u16` narrowing would
+    /// silently wrap huge lengths into a tiny — possibly zero —
+    /// descriptor charge), or does not fit next to the chains already
+    /// in flight.
     pub fn add_chain(&mut self, descs: Vec<Descriptor>) -> Result<u16, QueueFull> {
-        let needed = descs.len() as u16;
-        if needed == 0 || self.in_flight + needed > self.size {
+        let needed = match u16::try_from(descs.len()) {
+            Ok(n) if n <= self.size => n,
+            _ => return Err(QueueFull),
+        };
+        if needed == 0 || needed > self.size - self.in_flight {
             return Err(QueueFull);
         }
         let head = self.next_head;
         self.next_head = self.next_head.wrapping_add(1);
         self.in_flight += needed;
+        self.chain_lens.insert(head, needed);
         self.avail.push_back(DescChain { head, descs });
         Ok(head)
     }
@@ -184,13 +198,21 @@ impl VirtQueue {
         self.interrupts += 1;
     }
 
-    /// Driver side: harvests one completion.
+    /// Driver side: harvests one completion, recycling every
+    /// descriptor the completed chain was charged for.
     pub fn pop_used(&mut self) -> Option<UsedElem> {
         let e = self.used.pop_front()?;
-        // The chain's descriptors are recycled. We do not track per-chain
-        // lengths separately: model one descriptor per chain element.
-        self.in_flight = self.in_flight.saturating_sub(1);
+        // Heads completed via push_used without a matching add_chain
+        // (not something the datapaths do) release one descriptor.
+        let released = self.chain_lens.remove(&e.head).unwrap_or(1);
+        self.in_flight = self.in_flight.saturating_sub(released);
         Some(e)
+    }
+
+    /// Descriptors currently charged against the ring (chains exposed
+    /// or completed but not yet harvested by the driver).
+    pub fn in_flight(&self) -> u16 {
+        self.in_flight
     }
 
     /// Outstanding available chains not yet seen by the device.
@@ -226,6 +248,23 @@ impl VirtQueue {
     /// Lifetime interrupts.
     pub fn interrupt_count(&self) -> u64 {
         self.interrupts
+    }
+
+    /// Exports the queue's lifetime counters and in-flight gauge into a
+    /// metrics registry under `tag` (e.g. `"net-tx"`). Absolute-value
+    /// semantics: exporting twice overwrites, never double-counts.
+    pub fn export_metrics(&self, reg: &mut dvh_obs::MetricsRegistry, tag: &'static str) {
+        use dvh_obs::metrics::names;
+        use dvh_obs::MetricKey;
+        reg.set_counter(MetricKey::tagged(names::VIRTQUEUE_KICKS, tag), self.kicks);
+        reg.set_counter(
+            MetricKey::tagged(names::VIRTQUEUE_INTERRUPTS, tag),
+            self.interrupts,
+        );
+        reg.set_gauge(
+            MetricKey::tagged(names::VIRTQUEUE_IN_FLIGHT, tag),
+            self.in_flight as i64,
+        );
     }
 }
 
@@ -302,6 +341,57 @@ mod tests {
     fn empty_chain_rejected() {
         let mut q = VirtQueue::new(4);
         assert_eq!(q.add_chain(vec![]), Err(QueueFull));
+    }
+
+    #[test]
+    fn multi_descriptor_chain_accounting_is_symmetric() {
+        // Regression: add_chain charged descs.len() descriptors but
+        // pop_used released only 1 per chain, so every multi-descriptor
+        // chain leaked until the queue reported QueueFull forever.
+        let mut q = VirtQueue::new(8);
+        for _ in 0..64 {
+            let h1 = q.add_chain(vec![desc(0, 1, false); 3]).unwrap();
+            let h2 = q.add_chain(vec![desc(0, 1, false); 3]).unwrap();
+            // 6 of 8 descriptors in flight: a third chain cannot fit.
+            assert_eq!(q.add_chain(vec![desc(0, 1, false); 3]), Err(QueueFull));
+            for h in [h1, h2] {
+                let c = q.pop_avail().unwrap();
+                assert_eq!(c.head, h);
+                q.push_used(c.head, 0);
+            }
+            q.pop_used().unwrap();
+            q.pop_used().unwrap();
+            assert_eq!(q.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_completion_releases_correct_lengths() {
+        let mut q = VirtQueue::new(8);
+        let h_big = q.add_chain(vec![desc(0, 1, false); 5]).unwrap();
+        let h_small = q.add_chain(vec![desc(0, 1, false)]).unwrap();
+        let big = q.pop_avail().unwrap();
+        let small = q.pop_avail().unwrap();
+        // Device completes the small chain first.
+        q.push_used(small.head, 0);
+        q.push_used(big.head, 0);
+        assert_eq!(q.pop_used().unwrap().head, h_small);
+        assert_eq!(q.in_flight(), 5);
+        assert_eq!(q.pop_used().unwrap().head, h_big);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn oversized_chain_rejected_not_truncated() {
+        let mut q = VirtQueue::new(4);
+        // Longer than the ring: can never fit.
+        assert_eq!(q.add_chain(vec![desc(0, 1, false); 5]), Err(QueueFull));
+        // Longer than u16::MAX: the old `as u16` narrowing wrapped
+        // 65536 descriptors into a charge of zero.
+        assert_eq!(q.add_chain(vec![desc(0, 1, false); 65_536]), Err(QueueFull));
+        assert_eq!(q.in_flight(), 0);
+        assert!(q.add_chain(vec![desc(0, 1, false); 4]).is_ok());
+        assert_eq!(q.in_flight(), 4);
     }
 
     #[test]

@@ -57,6 +57,9 @@ impl World {
         if let Some(t0) = t0 {
             let spent = self.now(cpu) - t0;
             self.stats.attribute_cycles(from_level, reason, spent);
+            // The metrics twin of the ledger line above; the checker's
+            // metrics pass proves the two stay equal.
+            self.observe(|m| m.observe_exit(from_level, reason, spent));
             self.trace(|w| crate::trace::TraceEvent::Completed {
                 at: w.now(cpu),
                 cpu,
@@ -130,6 +133,7 @@ impl World {
             self.extensions = exts;
             if let Some(name) = handled {
                 self.stats.record_dvh(name);
+                self.observe(|m| m.record_dvh(name));
                 self.trace(|w| crate::trace::TraceEvent::DvhIntercept {
                     at: w.now(cpu),
                     cpu,
@@ -350,6 +354,14 @@ impl World {
             hv_level: owner,
             reason,
         });
+        // Intervention latency spans the whole delivery: forwarding
+        // chain, owner handler, and resume. Reading the clock twice is
+        // gated so the disabled path stays a single branch.
+        let obs_t0 = if self.metrics_on {
+            Some(self.now(cpu))
+        } else {
+            None
+        };
 
         // L0's native reflect step: decide the exit is not ours, build
         // the synthetic exit state in vmcs12, switch to vmcs01, enter L1.
@@ -385,6 +397,10 @@ impl World {
         if flow == HandlerFlow::Resume {
             self.entry_side_program(owner, cpu);
             self.vmresume_insn(owner, cpu);
+        }
+        if let Some(t0) = obs_t0 {
+            let spent = self.now(cpu) - t0;
+            self.observe(|m| m.observe_intervention(owner, spent));
         }
     }
 

@@ -51,6 +51,7 @@ pub mod profile;
 mod runtime;
 pub mod stats;
 pub mod trace;
+pub mod trace_export;
 pub mod world;
 
 pub use check::VmentryFinding;

@@ -10,6 +10,8 @@ use dvh_arch::apic::IcrValue;
 use dvh_arch::idle::IdleState;
 use dvh_arch::vmx::{ExitQualification, ExitReason};
 use dvh_arch::Cycles;
+use dvh_obs::metrics::names;
+use dvh_obs::MetricKey;
 
 /// How an interrupt reaches the leaf vCPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +81,10 @@ impl World {
         event_time: Cycles,
         path: IrqPath,
     ) -> Cycles {
+        let path_tag = match path {
+            IrqPath::PostedDirect => "posted",
+            IrqPath::ExitInjected => "injected",
+        };
         let pre_sync = self.now(dest);
         self.sync_cpu(dest, event_time);
         if self.is_paused(dest) {
@@ -100,6 +106,7 @@ impl World {
                 self.lapic[dest].accept(v);
             }
             self.leaf_service_interrupts(dest);
+            self.observe(|m| m.inc(MetricKey::tagged(names::IRQ_DELIVERIES, path_tag)));
             self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
                 at: w.now(dest),
                 cpu: dest,
@@ -111,12 +118,17 @@ impl World {
         if self.is_halted(dest) {
             // The span between halting and the wake event was spent in
             // a real low-power state — saved, not burned (§3.4).
-            self.stats.idle_cycles += self.now(dest) - pre_sync;
+            let idle_span = self.now(dest) - pre_sync;
+            self.stats.idle_cycles += idle_span;
             self.wake_chain(dest);
             for v in self.pi_desc[dest].drain() {
                 self.lapic[dest].accept(v);
             }
             self.leaf_service_interrupts(dest);
+            self.observe(|m| {
+                m.inc(MetricKey::tagged(names::IRQ_DELIVERIES, path_tag));
+                m.observe_cycles(MetricKey::plain(names::IRQ_WAKE_IDLE_CYCLES), idle_span);
+            });
             self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
                 at: w.now(dest),
                 cpu: dest,
@@ -154,6 +166,7 @@ impl World {
                 self.stats.injected_interrupts += 1;
             }
         }
+        self.observe(|m| m.inc(MetricKey::tagged(names::IRQ_DELIVERIES, path_tag)));
         self.trace(|w| crate::trace::TraceEvent::IrqDelivered {
             at: w.now(dest),
             cpu: dest,

@@ -152,11 +152,20 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A bounded trace buffer (oldest events are dropped when full).
+///
+/// Eviction is a compacting ring: events append to a backing `Vec`
+/// allowed to grow to twice the logical capacity; when it fills, the
+/// stale front half is drained in one batch. Each event is moved at
+/// most once per `capacity` evictions — amortized O(1) per record,
+/// where the old `Vec::remove(0)` was O(n) per event (quadratic over
+/// a full traced run) — while the live window stays contiguous, so
+/// [`Tracer::events`] is still a borrowed oldest-first slice.
 #[derive(Debug, Default)]
 pub struct Tracer {
     events: Vec<TraceEvent>,
     capacity: usize,
-    dropped: u64,
+    /// Lifetime events recorded (retained + evicted).
+    total: u64,
 }
 
 impl Tracer {
@@ -167,29 +176,45 @@ impl Tracer {
     /// event on the hot path never grows the Vec until the cap.
     pub fn new(capacity: usize) -> Tracer {
         Tracer {
-            events: Vec::with_capacity(capacity.min(1 << 16)),
+            events: Vec::with_capacity(capacity.saturating_mul(2).min(1 << 16)),
             capacity,
-            dropped: 0,
+            total: 0,
         }
     }
 
     /// Records an event.
     pub fn record(&mut self, e: TraceEvent) {
-        if self.events.len() >= self.capacity {
-            self.events.remove(0);
-            self.dropped += 1;
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() >= self.capacity.saturating_mul(2) {
+            // One O(capacity) compaction per `capacity` evictions.
+            self.events.drain(..self.events.len() - self.capacity);
         }
         self.events.push(e);
     }
 
-    /// Events recorded, oldest first.
+    /// Events recorded, oldest first (the most recent `capacity` of
+    /// them).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        let start = self.events.len().saturating_sub(self.capacity);
+        &self.events[start..]
     }
 
     /// How many events were evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.total.saturating_sub(self.capacity as u64)
+    }
+
+    /// Consumes the tracer, returning the retained events oldest
+    /// first.
+    pub fn into_events(mut self) -> Vec<TraceEvent> {
+        let start = self.events.len().saturating_sub(self.capacity);
+        if start > 0 {
+            self.events.drain(..start);
+        }
+        self.events
     }
 }
 
@@ -203,7 +228,10 @@ impl World {
     /// Stops tracing and returns the recorded events.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace_on = false;
-        self.tracer.take().map(|t| t.events).unwrap_or_default()
+        self.tracer
+            .take()
+            .map(Tracer::into_events)
+            .unwrap_or_default()
     }
 
     /// Events recorded so far without stopping tracing (empty when
@@ -300,6 +328,88 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);
         assert_eq!(t.events()[0].at(), Cycles::new(3));
+    }
+
+    fn irq_at(i: u64) -> TraceEvent {
+        TraceEvent::IrqDelivered {
+            at: Cycles::new(i),
+            cpu: 0,
+            vector: (i % 256) as u8,
+            woke: false,
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_oldest_first_across_compactions() {
+        // Capacity 4, 11 events: crosses the 2x-capacity compaction
+        // boundary more than once. The window must always be the most
+        // recent 4, oldest first.
+        let mut t = Tracer::new(4);
+        for i in 0..11 {
+            t.record(irq_at(i));
+            let events = t.events();
+            let expect_len = ((i + 1) as usize).min(4);
+            assert_eq!(events.len(), expect_len);
+            let oldest = (i + 1).saturating_sub(4);
+            for (k, e) in events.iter().enumerate() {
+                assert_eq!(e.at(), Cycles::new(oldest + k as u64));
+            }
+        }
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    fn at_capacity_nothing_is_dropped() {
+        let mut t = Tracer::new(3);
+        for i in 0..3 {
+            t.record(irq_at(i));
+        }
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[0].at(), Cycles::ZERO);
+        // One past capacity evicts exactly one.
+        t.record(irq_at(3));
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events()[0].at(), Cycles::new(1));
+    }
+
+    #[test]
+    fn into_events_matches_events_view() {
+        for n in [2u64, 3, 4, 7, 16] {
+            let mut t = Tracer::new(3);
+            for i in 0..n {
+                t.record(irq_at(i));
+            }
+            let view: Vec<TraceEvent> = t.events().to_vec();
+            assert_eq!(t.into_events(), view, "{n} events");
+        }
+    }
+
+    #[test]
+    fn take_trace_agrees_with_trace_events_past_capacity() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        // Small enough that a hypercall overflows it.
+        w.enable_tracing(8);
+        w.guest_hypercall(0);
+        assert!(w.trace_dropped() > 0, "trace should have wrapped");
+        let view: Vec<TraceEvent> = w.trace_events().to_vec();
+        assert_eq!(view.len(), 8);
+        let taken = w.take_trace();
+        assert_eq!(taken, view);
+        // Timestamps still monotone (per CPU; this run is CPU 0 only).
+        for pair in taken.windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    #[test]
+    fn take_trace_agrees_with_trace_events_at_capacity() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.enable_tracing(1 << 16);
+        w.guest_hypercall(0);
+        assert_eq!(w.trace_dropped(), 0);
+        let view: Vec<TraceEvent> = w.trace_events().to_vec();
+        assert_eq!(w.take_trace(), view);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use dvh_memory::ept::Ept;
 use dvh_memory::iommu_pt::{IoTable, ShadowIoTable};
 use dvh_memory::sparse::SparseMemory;
 use dvh_memory::{DirtyBitmap, Perms};
+use dvh_obs::MetricsRegistry;
 
 /// PFN offset added by each translation stage in the simulator's
 /// canonical memory layout: the VM at level `k`'s guest-physical page
@@ -129,6 +130,11 @@ pub struct World {
     /// exit engine is a single branch on this bool, not an `Option`
     /// discriminant load behind a method call.
     pub(crate) trace_on: bool,
+    /// Observability registry (None until [`World::enable_metrics`]).
+    pub(crate) metrics: Option<Box<MetricsRegistry>>,
+    /// Cached `metrics.is_some()`, mirroring `trace_on`: every
+    /// instrumentation point is one predicted branch when disabled.
+    pub(crate) metrics_on: bool,
     /// In-flight block request (bytes), if a blk doorbell chain is
     /// being processed; see `io.rs`.
     pub(crate) pending_blk_bytes: Option<u64>,
@@ -276,6 +282,8 @@ impl World {
             mmio_doorbell_cached: false,
             tracer: None,
             trace_on: false,
+            metrics: None,
+            metrics_on: false,
             pending_blk_bytes: None,
             poll_idle: false,
             runnable_sibling_vms: 0,
@@ -508,6 +516,69 @@ impl World {
         self.stats = RunStats::new();
     }
 
+    // ---- Observability (dvh-obs) --------------------------------------
+
+    /// Turns on metrics collection. Recording never advances simulated
+    /// time, so enabling metrics cannot perturb any cycle ledger; with
+    /// metrics off, every instrumentation point costs one predicted
+    /// branch (same contract as [`World::enable_tracing`]).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::default());
+        }
+        self.metrics_on = true;
+    }
+
+    /// The live metrics registry, if metrics were enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    /// Stops metrics collection and returns the registry.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics_on = false;
+        self.metrics.take().map(|m| *m)
+    }
+
+    /// Feeds the registry if metrics are enabled. The disabled path is
+    /// a single inlined branch on [`World::metrics_on`]; the closure
+    /// only ever captures plain copies (levels, reasons, cycle deltas),
+    /// so with metrics off the optimizer deletes the capture setup at
+    /// every call site.
+    #[inline(always)]
+    pub fn observe(&mut self, f: impl FnOnce(&mut MetricsRegistry)) {
+        if !self.metrics_on {
+            return;
+        }
+        self.observe_record(f);
+    }
+
+    /// Out-of-line metrics-enabled path of [`World::observe`].
+    #[inline(never)]
+    fn observe_record(&mut self, f: impl FnOnce(&mut MetricsRegistry)) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            f(m);
+        }
+    }
+
+    /// Snapshots every device's lifetime counters (virtqueue kicks,
+    /// interrupts, in-flight; vhost packet/byte/drop totals) into the
+    /// metrics registry. Exports are absolute values, so calling this
+    /// repeatedly (e.g. once per sweep cell) never double-counts; a
+    /// no-op when metrics are disabled.
+    pub fn export_device_metrics(&mut self) {
+        let Some(reg) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        for (lvl, dev) in self.virtio.iter().enumerate() {
+            dev.rx.export_metrics(reg, virtio_queue_tag(lvl, true));
+            dev.tx.export_metrics(reg, virtio_queue_tag(lvl, false));
+        }
+        for (lvl, vh) in self.vhost.iter().enumerate() {
+            vh.export_metrics(reg, vhost_tag(lvl));
+        }
+    }
+
     /// Whether the leaf vCPU on `cpu` is halted.
     pub fn is_halted(&self, cpu: usize) -> bool {
         self.halt_chain[cpu].is_some()
@@ -635,6 +706,36 @@ impl std::fmt::Debug for World {
             .field("cpus", &self.cpus.len())
             .field("total_exits", &self.stats.total_exits())
             .finish()
+    }
+}
+
+/// Static metric tag for the virtio device provided by the hypervisor
+/// at `level` (metric tags are `&'static str`; levels beyond the
+/// modeled maximum share a catch-all tag).
+fn virtio_queue_tag(level: usize, rx: bool) -> &'static str {
+    match (level, rx) {
+        (0, true) => "l0-rx",
+        (0, false) => "l0-tx",
+        (1, true) => "l1-rx",
+        (1, false) => "l1-tx",
+        (2, true) => "l2-rx",
+        (2, false) => "l2-tx",
+        (3, true) => "l3-rx",
+        (3, false) => "l3-tx",
+        (_, true) => "ln-rx",
+        (_, false) => "ln-tx",
+    }
+}
+
+/// Static metric tag for the vhost backend at `level`; see
+/// [`virtio_queue_tag`].
+fn vhost_tag(level: usize) -> &'static str {
+    match level {
+        0 => "l0-vhost",
+        1 => "l1-vhost",
+        2 => "l2-vhost",
+        3 => "l3-vhost",
+        _ => "ln-vhost",
     }
 }
 

@@ -154,6 +154,12 @@ pub fn migrate_nested_vm(
             pages: page_count,
             time,
         });
+        w.observe(|m| {
+            use dvh_obs::metrics::names;
+            use dvh_obs::MetricKey;
+            m.observe(MetricKey::plain(names::PRECOPY_ROUND_PAGES), page_count);
+            m.observe_cycles(MetricKey::plain(names::PRECOPY_ROUND_CYCLES), time);
+        });
         total_pages += page_count;
         total_time += time;
 
@@ -364,6 +370,27 @@ mod tests {
         assert_eq!(r.rounds.len(), 5);
         // Forced cut-over still transfers everything faithfully.
         assert!(r.verified);
+    }
+
+    #[test]
+    fn metrics_capture_precopy_rounds() {
+        use dvh_obs::metrics::names;
+        use dvh_obs::MetricKey;
+        let mut m = Machine::build(MachineConfig::dvh(2));
+        m.world_mut().enable_metrics();
+        touch_some_memory(&mut m);
+        let r = migrate_nested_vm(m.world_mut(), MigrationConfig::default(), |_| {}).unwrap();
+        let reg = m.world_mut().take_metrics().unwrap();
+        let pages = reg
+            .histogram(&MetricKey::plain(names::PRECOPY_ROUND_PAGES))
+            .expect("round-size histogram populated");
+        assert_eq!(pages.count() as usize, r.rounds.len());
+        assert_eq!(pages.sum(), r.rounds.iter().map(|x| x.pages).sum::<u64>());
+        let cycles = reg
+            .histogram(&MetricKey::plain(names::PRECOPY_ROUND_CYCLES))
+            .expect("round-time histogram populated");
+        assert_eq!(cycles.count() as usize, r.rounds.len());
+        assert!(pages.is_consistent() && cycles.is_consistent());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! A Chrome trace-event JSON builder (the `about:tracing` / Perfetto
+//! "JSON Object Format": a `traceEvents` array of `ph`-typed records).
+//!
+//! The builder is generic over what the spans mean; the hypervisor's
+//! trace exporter maps simulated CPUs to `pid`s and virtualization
+//! levels to `tid`s, so nested exit multiplication renders as nested
+//! spans on per-CPU/level tracks. Timestamps are simulated cycles
+//! written verbatim into `ts`/`dur` — the viewer displays them as
+//! microseconds, but only relative magnitude matters and cycles keep
+//! the export exact (see DESIGN.md §10).
+
+use crate::json::Value;
+
+/// Builds a trace-event document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Value>,
+}
+
+/// Span/instant argument payloads: (key, value) pairs rendered into
+/// the event's `args` object.
+pub type Args = Vec<(String, Value)>;
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    fn meta(&mut self, name: &str, pid: usize, tid: Option<usize>, value: &str) {
+        let mut members = vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("ph".to_string(), Value::Str("M".to_string())),
+            ("pid".to_string(), Value::Int(pid as i64)),
+        ];
+        if let Some(tid) = tid {
+            members.push(("tid".to_string(), Value::Int(tid as i64)));
+        }
+        members.push((
+            "args".to_string(),
+            Value::Obj(vec![("name".to_string(), Value::Str(value.to_string()))]),
+        ));
+        self.events.push(Value::Obj(members));
+    }
+
+    /// Names a process track (one per simulated CPU).
+    pub fn set_process_name(&mut self, pid: usize, name: &str) {
+        self.meta("process_name", pid, None, name);
+    }
+
+    /// Names a thread track (one per level within a CPU).
+    pub fn set_thread_name(&mut self, pid: usize, tid: usize, name: &str) {
+        self.meta("thread_name", pid, Some(tid), name);
+    }
+
+    /// Adds a complete ("X") span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: usize,
+        tid: usize,
+        ts: u64,
+        dur: u64,
+        args: Args,
+    ) {
+        self.events.push(Value::Obj(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("cat".to_string(), Value::Str(cat.to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::Int(ts as i64)),
+            ("dur".to_string(), Value::Int(dur as i64)),
+            ("pid".to_string(), Value::Int(pid as i64)),
+            ("tid".to_string(), Value::Int(tid as i64)),
+            ("args".to_string(), Value::Obj(args)),
+        ]));
+    }
+
+    /// Adds an instant ("i") event.
+    pub fn instant(&mut self, name: &str, cat: &str, pid: usize, tid: usize, ts: u64, args: Args) {
+        self.events.push(Value::Obj(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("cat".to_string(), Value::Str(cat.to_string())),
+            ("ph".to_string(), Value::Str("i".to_string())),
+            ("s".to_string(), Value::Str("t".to_string())),
+            ("ts".to_string(), Value::Int(ts as i64)),
+            ("pid".to_string(), Value::Int(pid as i64)),
+            ("tid".to_string(), Value::Int(tid as i64)),
+            ("args".to_string(), Value::Obj(args)),
+        ]));
+    }
+
+    /// Events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The complete document as a [`Value`].
+    pub fn into_value(self) -> Value {
+        Value::Obj(vec![
+            ("traceEvents".to_string(), Value::Arr(self.events)),
+            ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+        ])
+    }
+
+    /// Serializes the complete document.
+    pub fn to_json(self) -> String {
+        self.into_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn document_round_trips() {
+        let mut t = ChromeTrace::new();
+        t.set_process_name(0, "cpu0");
+        t.set_thread_name(0, 2, "L2");
+        t.span(
+            "exit L2 Vmcall",
+            "exit",
+            0,
+            2,
+            1000,
+            250,
+            vec![("outermost".to_string(), Value::Bool(true))],
+        );
+        t.instant("DVH vtimer", "dvh", 0, 0, 1100, vec![]);
+        assert_eq!(t.len(), 4);
+        let text = t.to_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.to_json(), text);
+        let events = v.get("traceEvents").unwrap().items().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[2].get("dur").unwrap().as_int(), Some(250));
+        assert_eq!(
+            events[2].get("args").unwrap().get("outermost").unwrap(),
+            &Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # dvh-obs
+//!
+//! Observability for the DVH nested-virtualization simulator: the
+//! layer that turns the engine's cycle-accurate bookkeeping into
+//! things a human (or a dashboard) can look at.
+//!
+//! The paper's whole argument is an attribution story — Table 3 and
+//! Fig. 7 are per-level, per-exit-reason cycle breakdowns — so the
+//! subsystem is built around *attribution-preserving* exports:
+//!
+//! * [`metrics`] — a registry of counters, gauges, and histograms with
+//!   fixed cycle-bucket boundaries
+//!   ([`dvh_arch::cycles::CYCLE_BUCKET_BOUNDS`]). Keys carry the
+//!   (level, reason) structure of the engine's ledgers, and the
+//!   deterministic snapshot serializer means two runs diff cleanly.
+//! * [`chrome`] — a Chrome trace-event (`about:tracing` / Perfetto)
+//!   JSON builder, used by the hypervisor's trace export to lay exit
+//!   multiplication out as nested spans, one track per simulated
+//!   CPU/level.
+//! * [`json`] — a minimal JSON value model with a parser and a
+//!   canonical serializer, so exported traces can be round-tripped and
+//!   verified without external dependencies.
+//! * [`profile`] — top-N (level, reason) → cycles/count/percent tables
+//!   from a registry, the `dvh profile` backend.
+//!
+//! The registry itself is passive: the hypervisor's `World` owns one
+//! behind the same enabled-flag pattern as its tracer, so a disabled
+//! registry costs one predicted branch per instrumentation point and
+//! nothing else. Feeding it never touches simulated time — enabling
+//! metrics cannot change any pinned ledger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+
+pub use metrics::{Histogram, MetricKey, MetricsRegistry};

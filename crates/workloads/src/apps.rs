@@ -45,6 +45,34 @@ impl AppId {
         AppId::Hackbench,
     ];
 
+    /// Parses a CLI application name (`rr`, `stream`, `maerts`,
+    /// `apache`, `memcached`, `mysql`, `hackbench`).
+    pub fn parse(name: &str) -> Option<AppId> {
+        Some(match name {
+            "rr" => AppId::NetperfRr,
+            "stream" => AppId::NetperfStream,
+            "maerts" => AppId::NetperfMaerts,
+            "apache" => AppId::Apache,
+            "memcached" => AppId::Memcached,
+            "mysql" => AppId::Mysql,
+            "hackbench" => AppId::Hackbench,
+            _ => return None,
+        })
+    }
+
+    /// The CLI name accepted by [`AppId::parse`].
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            AppId::NetperfRr => "rr",
+            AppId::NetperfStream => "stream",
+            AppId::NetperfMaerts => "maerts",
+            AppId::Apache => "apache",
+            AppId::Memcached => "memcached",
+            AppId::Mysql => "mysql",
+            AppId::Hackbench => "hackbench",
+        }
+    }
+
     /// The transaction mix for this benchmark.
     pub fn mix(self) -> TxnMix {
         match self {
@@ -225,6 +253,14 @@ mod tests {
     #[test]
     fn seven_benchmarks() {
         assert_eq!(all_apps().len(), 7);
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for app in AppId::ALL {
+            assert_eq!(AppId::parse(app.cli_name()), Some(app));
+        }
+        assert_eq!(AppId::parse("no-such-app"), None);
     }
 
     #[test]

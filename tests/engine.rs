@@ -73,6 +73,8 @@ fn engine_bench_json_baseline_round_trip() {
         sweep_parallel_s: 0.25,
         sweep_speedup: 1.6,
         sweep_deterministic: true,
+        metrics_exit_rate: 22_000_000.0,
+        metrics_conserved: true,
     };
     let baseline = dvh_bench::engine::Baseline::parse(&r.to_json()).unwrap();
     assert!(dvh_bench::engine::check_regression(&r, &baseline, 0.25).is_ok());
