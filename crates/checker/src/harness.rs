@@ -2,6 +2,7 @@
 //! checking and tracing enabled, then runs every pass. This is what
 //! `dvh check` executes.
 
+use crate::causal_lint::lint_causal;
 use crate::metrics_lint::{lint_chrome_export, lint_metrics};
 use crate::source_lint::lint_sources;
 use crate::trace_lint::{lint_trace, TraceContext};
@@ -171,8 +172,8 @@ pub fn check_pinned_fixture() -> Vec<Violation> {
 }
 
 /// Builds a machine for `config`, arms checking, tracing, and metrics,
-/// runs the standard workload, and returns all vmentry-, trace-, and
-/// metrics-pass violations (empty = certified).
+/// runs the standard workload, and returns all vmentry-, trace-,
+/// metrics-, and causal-pass violations (empty = certified).
 pub fn check_machine(config: MachineConfig) -> Vec<Violation> {
     let mut m = Machine::build(config);
     {
@@ -198,6 +199,12 @@ pub fn check_machine(config: MachineConfig) -> Vec<Violation> {
         w.leaf_level(),
         &w.stats,
     ));
+    out.extend(lint_causal(
+        w.trace_events(),
+        w.num_cpus(),
+        w.trace_dropped(),
+        &w.stats,
+    ));
     out
 }
 
@@ -212,7 +219,7 @@ pub fn run_all(source_root: Option<&Path>) -> std::io::Result<Report> {
         let violations = check_machine(config);
         report.add(
             format!(
-                "vmentry+trace+metrics {name}: {} violation(s)",
+                "vmentry+trace+metrics+causal {name}: {} violation(s)",
                 violations.len()
             ),
             name,

@@ -29,6 +29,13 @@
 //!    both directions, every histogram must be internally consistent,
 //!    and the serialized Chrome trace export must round-trip with
 //!    outermost span durations summing to the same ledger.
+//! 5. **Causal conservation** ([`causal_lint`]): certifies the
+//!    causality layer (`dvh_obs::causal`) that rebuilds each outermost
+//!    exit's tree of nested traps — root spans must reproduce the
+//!    attribution ledger bit for bit, tree geometry must partition
+//!    (children inside parents, siblings non-overlapping), the forest
+//!    must hold exactly one node per counted hardware exit, and the
+//!    folded flamegraph text must re-parse to the same totals.
 //!
 //! The [`harness`] module ties the first two passes to representative
 //! workloads (the paper's Fig. 7 configurations) for `dvh check`.
@@ -36,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal_lint;
 pub mod harness;
 pub mod metrics_lint;
 pub mod source_lint;
@@ -59,6 +67,10 @@ pub enum Pass {
     /// Metrics-conservation certification (the dvh-obs registry and
     /// trace export must agree with the engine's attribution ledger).
     Metrics,
+    /// Causal-conservation certification (the causal forest rebuilt
+    /// from the trace must reproduce the attribution ledger and
+    /// partition exactly).
+    Causal,
 }
 
 impl fmt::Display for Pass {
@@ -69,6 +81,7 @@ impl fmt::Display for Pass {
             Pass::Source => "source",
             Pass::Fixture => "fixture",
             Pass::Metrics => "metrics",
+            Pass::Causal => "causal",
         })
     }
 }

@@ -14,6 +14,11 @@
 //!   recurses past the hierarchy.
 //! - `completed-balance` — every outermost exit is closed by exactly
 //!   one matching `Completed`, and none is left open at the end.
+//! - `return-balance` — every `Returned` closes the deepest open
+//!   *nested* exit (matching level and reason) and never the outermost
+//!   one, which only `Completed` may close: the events nest like
+//!   brackets, which is what lets `dvh_obs::causal` rebuild exact
+//!   causal trees.
 //! - `cycle-attribution` — each `Completed.spent` equals exactly the
 //!   simulated time between its exit and its completion.
 //! - `cycle-conservation` — cycles charged during top-level exits
@@ -202,6 +207,40 @@ pub fn lint_trace(events: &[TraceEvent], ctx: &TraceContext) -> Vec<Violation> {
                 *attributed
                     .entry((*from_level, *reason))
                     .or_insert(Cycles::ZERO) += *spent;
+            }
+            TraceEvent::Returned {
+                from_level, reason, ..
+            } => {
+                match st.stack.len() {
+                    0 => out.push(violation(
+                        "return-balance",
+                        idx,
+                        e,
+                        "return with no open exit on this CPU".into(),
+                    )),
+                    1 => out.push(violation(
+                        "return-balance",
+                        idx,
+                        e,
+                        "return would close the outermost exit, which only a \
+                         completion may close"
+                            .into(),
+                    )),
+                    _ => {
+                        let (fl, r, _) = st.stack.pop().expect("len checked above");
+                        if fl != *from_level || r != *reason {
+                            out.push(violation(
+                                "return-balance",
+                                idx,
+                                e,
+                                format!("return does not match the deepest open exit (L{fl} {r})"),
+                            ));
+                        }
+                    }
+                }
+                // A return after a DVH intercept is normal unwinding,
+                // not a reflection of the intercepted exit.
+                st.last_was_dvh = false;
             }
             TraceEvent::Intervention { hv_level, .. } => {
                 if *hv_level < 1 || *hv_level >= ctx.leaf_level.max(1) {

@@ -85,6 +85,31 @@ impl TraceFormat {
     }
 }
 
+/// Output format for `dvh profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileFormat {
+    /// The top-N attribution table plus latency percentiles (the
+    /// default).
+    #[default]
+    Table,
+    /// Folded-stack flamegraph lines rebuilt from the causal tree of
+    /// every outermost exit (`flamegraph.pl`-compatible).
+    Folded,
+}
+
+impl ProfileFormat {
+    /// Parses `table` or `folded`.
+    pub fn parse(s: &str) -> Result<ProfileFormat, ParseError> {
+        match s {
+            "table" => Ok(ProfileFormat::Table),
+            "folded" => Ok(ProfileFormat::Folded),
+            other => Err(ParseError(format!(
+                "unknown profile format '{other}' (expected table|folded)"
+            ))),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -201,6 +226,41 @@ pub enum Command {
         top: usize,
         /// Also dump the deterministic full-registry snapshot.
         snapshot: bool,
+        /// Output format.
+        format: ProfileFormat,
+    },
+    /// Write (or print) an observability snapshot document for
+    /// later differential analysis.
+    ObsSnapshot {
+        /// Operation: hypercall|timer|ipi|devnotify (ignored when
+        /// `app` is given).
+        op: String,
+        /// Snapshot a full application benchmark instead of one
+        /// operation.
+        app: Option<AppId>,
+        /// Transactions when snapshotting an application.
+        txns: u32,
+        /// Virtualization level.
+        level: usize,
+        /// VM configuration.
+        config: CliConfig,
+        /// Where to write the JSON (`None` = stdout).
+        out: Option<String>,
+        /// Emit Prometheus text exposition format instead of the
+        /// snapshot JSON.
+        prom: bool,
+    },
+    /// Compare two observability snapshots with per-metric relative
+    /// thresholds.
+    ObsDiff {
+        /// Baseline snapshot path.
+        baseline: String,
+        /// Current snapshot path.
+        current: String,
+        /// Regression threshold as a fraction (0.25 = 25%).
+        threshold: f64,
+        /// Emit the JSON report instead of text.
+        json: bool,
     },
     /// Run the dvh-checker invariant passes.
     Check {
@@ -340,7 +400,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             config: opts.config()?,
             top: opts.usize_of("--top", 10)?,
             snapshot: opts.has("--snapshot"),
+            format: match opts.value_of("--format") {
+                None => ProfileFormat::Table,
+                Some(v) => ProfileFormat::parse(v)?,
+            },
         }),
+        "obs" => parse_obs(&args[1..]),
         "explain" => Ok(Command::Explain {
             op: opts.value_of("--op").unwrap_or("timer").to_string(),
             level: opts.usize_of("--level", 2)?,
@@ -399,6 +464,83 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
+/// Parses the `obs` subcommand family: `obs snapshot` (exploratory,
+/// profile-style flags) and `obs diff` (a CI gate, so it strict-parses
+/// like `check` — a typo'd flag must fail, not silently run defaults).
+fn parse_obs(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Err(ParseError(
+            "obs requires a subcommand (snapshot|diff)".into(),
+        ));
+    };
+    let opts = Opts { rest: &args[1..] };
+    match sub.as_str() {
+        "snapshot" => Ok(Command::ObsSnapshot {
+            op: opts.value_of("--op").unwrap_or("timer").to_string(),
+            app: opts.value_of("--app").map(parse_app).transpose()?,
+            txns: opts.u32_of("--txns", 40)?,
+            level: opts.usize_of("--level", 2)?,
+            config: opts.config()?,
+            out: opts.value_of("--out").map(str::to_string),
+            prom: opts.has("--prom"),
+        }),
+        "diff" => {
+            let rest = &args[1..];
+            let mut files: Vec<&str> = Vec::new();
+            let mut threshold = 0.25f64;
+            let mut json = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--threshold" => {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ParseError("--threshold expects a percentage".into()))?;
+                        let pct: f64 = v.parse().map_err(|_| {
+                            ParseError(format!("--threshold expects a number, got '{v}'"))
+                        })?;
+                        if !(0.0..=1000.0).contains(&pct) {
+                            return Err(ParseError(format!(
+                                "--threshold {pct} out of range (percent, 0..=1000)"
+                            )));
+                        }
+                        threshold = pct / 100.0;
+                        i += 2;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ParseError(format!(
+                            "unknown flag '{flag}' for obs diff (expected \
+                             <baseline.json> <current.json> [--threshold PCT] [--json])"
+                        )))
+                    }
+                    file => {
+                        files.push(file);
+                        i += 1;
+                    }
+                }
+            }
+            let [baseline, current] = files.as_slice() else {
+                return Err(ParseError(
+                    "obs diff requires exactly two files: <baseline.json> <current.json>".into(),
+                ));
+            };
+            Ok(Command::ObsDiff {
+                baseline: baseline.to_string(),
+                current: current.to_string(),
+                threshold,
+                json,
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown obs subcommand '{other}' (expected snapshot|diff)"
+        ))),
+    }
+}
+
 /// The usage text.
 pub const USAGE: &str = "\
 dvh — DVH nested-virtualization simulator (ASPLOS 2020 reproduction)
@@ -417,6 +559,10 @@ USAGE:
               [--level N] [--config ...] [--format text|chrome|jsonl]
   dvh profile [--op hypercall|timer|ipi|devnotify | --app NAME [--txns N]]
               [--level N] [--config ...] [--top N] [--snapshot]
+              [--format table|folded]
+  dvh obs snapshot [--op ... | --app NAME [--txns N]] [--level N] [--config ...]
+              [--out FILE] [--prom]
+  dvh obs diff <baseline.json> <current.json> [--threshold PCT] [--json]
   dvh check   [--source-root DIR] [--no-source]
   dvh help
 ";
@@ -566,6 +712,104 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_profile_formats() {
+        match parse(&v(&["profile", "--format", "folded", "--app", "rr"])).unwrap() {
+            Command::Profile { format, app, .. } => {
+                assert_eq!(format, ProfileFormat::Folded);
+                assert_eq!(app, Some(dvh_workloads::AppId::NetperfRr));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["profile"])).unwrap() {
+            Command::Profile { format, .. } => assert_eq!(format, ProfileFormat::Table),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["profile", "--format", "svg"])).is_err());
+    }
+
+    #[test]
+    fn parse_obs_snapshot() {
+        match parse(&v(&[
+            "obs",
+            "snapshot",
+            "--app",
+            "rr",
+            "--txns",
+            "25",
+            "--out",
+            "snap.json",
+        ]))
+        .unwrap()
+        {
+            Command::ObsSnapshot {
+                app,
+                txns,
+                out,
+                prom,
+                ..
+            } => {
+                assert_eq!(app, Some(dvh_workloads::AppId::NetperfRr));
+                assert_eq!(txns, 25);
+                assert_eq!(out.as_deref(), Some("snap.json"));
+                assert!(!prom);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["obs", "snapshot", "--prom"])).unwrap() {
+            Command::ObsSnapshot { prom, .. } => assert!(prom),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["obs"])).is_err());
+        assert!(parse(&v(&["obs", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parse_obs_diff_is_strict() {
+        assert_eq!(
+            parse(&v(&["obs", "diff", "base.json", "cur.json"])).unwrap(),
+            Command::ObsDiff {
+                baseline: "base.json".into(),
+                current: "cur.json".into(),
+                threshold: 0.25,
+                json: false,
+            }
+        );
+        match parse(&v(&[
+            "obs",
+            "diff",
+            "a.json",
+            "b.json",
+            "--threshold",
+            "10",
+            "--json",
+        ]))
+        .unwrap()
+        {
+            Command::ObsDiff {
+                threshold, json, ..
+            } => {
+                assert!((threshold - 0.10).abs() < 1e-12);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A CI gate rejects what it does not understand.
+        assert!(parse(&v(&["obs", "diff", "a.json"])).is_err());
+        assert!(parse(&v(&["obs", "diff", "a.json", "b.json", "c.json"])).is_err());
+        assert!(parse(&v(&["obs", "diff", "a.json", "b.json", "--bogus"])).is_err());
+        assert!(parse(&v(&["obs", "diff", "a.json", "b.json", "--threshold"])).is_err());
+        assert!(parse(&v(&[
+            "obs",
+            "diff",
+            "a.json",
+            "b.json",
+            "--threshold",
+            "nope"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Command implementations for the `dvh` binary.
 
-use crate::args::{Command, TraceFormat};
+use crate::args::{CliConfig, Command, ProfileFormat, TraceFormat};
 use crate::results::{to_csv, ResultFile};
 use dvh_core::Machine;
 use dvh_hypervisor::trace_export;
 use dvh_migration::{migrate_nested_vm, MigrationConfig};
+use dvh_obs::causal::render_multiplication;
+use dvh_obs::percentiles::{exit_percentiles, render_percentiles};
 use dvh_obs::profile::{exit_profile, render_profile};
 use dvh_workloads::{run_app, run_micro, AppId};
 
@@ -187,35 +189,99 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             config,
             top,
             snapshot,
+            format,
         } => {
-            let (reg, header) = match app {
-                Some(app) => {
-                    let (reg, overhead) =
-                        dvh_bench::harness::profile_cell(app, config.machine_config(level), txns);
-                    (
-                        reg,
-                        format!(
-                            "{} at L{level} ({config}): overhead {overhead:.2}x vs native\n",
-                            app.mix().name
-                        ),
-                    )
+            let obs = observe_workload(&op, app, txns, level, config)?;
+            match format {
+                ProfileFormat::Folded => {
+                    // Pure folded-stack lines, pipeable straight into a
+                    // flamegraph renderer — no header, no footer.
+                    let forest = trace_export::causal_forest(&obs.events, obs.num_cpus);
+                    w(out, forest.folded())
                 }
-                None => {
-                    let mut m = Machine::build(config.machine_config(level));
-                    m.world_mut().enable_metrics();
-                    let cost = run_named_op(&mut m, &op)?;
-                    m.world_mut().export_device_metrics();
-                    let reg = m.world_mut().take_metrics().unwrap_or_default();
-                    (reg, format!("{op} at L{level} ({config}): {cost}\n"))
+                ProfileFormat::Table => {
+                    w(out, obs.header)?;
+                    w(out, render_profile(&exit_profile(&obs.reg, top)))?;
+                    let rows = exit_percentiles(&obs.reg);
+                    if !rows.is_empty() {
+                        w(out, "\noutermost-exit latency (cycles):\n".to_string())?;
+                        w(out, render_percentiles(&rows))?;
+                    }
+                    let forest = trace_export::causal_forest(&obs.events, obs.num_cpus);
+                    let factors = forest.multiplication_factors();
+                    if !factors.is_empty() {
+                        w(
+                            out,
+                            "\nexit multiplication (from the causal tree):\n".to_string(),
+                        )?;
+                        w(out, render_multiplication(&factors))?;
+                    }
+                    if snapshot {
+                        w(out, "\n".to_string())?;
+                        w(out, obs.reg.snapshot())?;
+                    }
+                    Ok(())
                 }
-            };
-            w(out, header)?;
-            w(out, render_profile(&exit_profile(&reg, top)))?;
-            if snapshot {
-                w(out, "\n".to_string())?;
-                w(out, reg.snapshot())?;
             }
-            Ok(())
+        }
+        Command::ObsSnapshot {
+            op,
+            app,
+            txns,
+            level,
+            config,
+            out: out_path,
+            prom,
+        } => {
+            let workload = match app {
+                Some(a) => format!("{}@L{level}/{config}", a.mix().name),
+                None => format!("{op}@L{level}/{config}"),
+            };
+            let obs = observe_workload(&op, app, txns, level, config)?;
+            let text = if prom {
+                dvh_obs::prom::prometheus(&obs.reg)
+            } else {
+                let mut s = dvh_obs::diff::snapshot_json(&obs.reg, &workload);
+                s.push('\n');
+                s
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+                    w(out, format!("wrote {path}\n"))
+                }
+                None => w(out, text),
+            }
+        }
+        Command::ObsDiff {
+            baseline,
+            current,
+            threshold,
+            json,
+        } => {
+            let load = |path: &str| -> Result<dvh_obs::json::Value, String> {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                dvh_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let base = load(&baseline)?;
+            let cur = load(&current)?;
+            let report = dvh_obs::diff::diff(&base, &cur, dvh_obs::diff::DiffConfig { threshold })?;
+            if json {
+                let mut s = report.to_json().to_json();
+                s.push('\n');
+                w(out, s)?;
+            } else {
+                w(out, report.to_text())?;
+            }
+            let regressed = report.regressions().len();
+            if regressed == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{regressed} metric(s) regressed beyond {:.0}%",
+                    threshold * 100.0
+                ))
+            }
         }
         Command::Explain { op, level, config } => {
             let mut m = Machine::build(config.machine_config(level));
@@ -303,6 +369,54 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             Ok(())
         }
     }
+}
+
+/// A workload run with the full observability stack armed: the trace
+/// events, the metrics registry (device metrics exported), and a
+/// one-line header describing what ran.
+struct Observed {
+    header: String,
+    events: Vec<dvh_hypervisor::TraceEvent>,
+    num_cpus: usize,
+    reg: dvh_obs::MetricsRegistry,
+}
+
+/// Runs the profile/obs-snapshot workload (one named op, or a full
+/// application benchmark) on a fresh machine with tracing and metrics
+/// on. Observability never advances simulated time, so the reported
+/// costs and overheads are identical to an unobserved run.
+fn observe_workload(
+    op: &str,
+    app: Option<AppId>,
+    txns: u32,
+    level: usize,
+    config: CliConfig,
+) -> Result<Observed, String> {
+    let mut m = Machine::build(config.machine_config(level));
+    m.world_mut().enable_observability(1 << 20);
+    let header = match app {
+        Some(app) => {
+            let overhead = run_app(&mut m, &app.mix(), txns).overhead;
+            format!(
+                "{} at L{level} ({config}): overhead {overhead:.2}x vs native\n",
+                app.mix().name
+            )
+        }
+        None => {
+            let cost = run_named_op(&mut m, op)?;
+            format!("{op} at L{level} ({config}): {cost}\n")
+        }
+    };
+    m.world_mut().export_device_metrics();
+    let events = m.world_mut().take_trace();
+    let num_cpus = m.world().num_cpus();
+    let reg = m.world_mut().take_metrics().unwrap_or_default();
+    Ok(Observed {
+        header,
+        events,
+        num_cpus,
+        reg,
+    })
 }
 
 fn run_named_op(m: &mut Machine, op: &str) -> Result<dvh_core::Cycles, String> {
@@ -498,11 +612,101 @@ mod tests {
             config: CliConfig::Base,
             top: 10,
             snapshot: false,
+            format: ProfileFormat::Table,
         })
         .unwrap();
         assert!(out.contains("timer at L2 (base)"), "{out}");
         assert!(out.contains("MsrWrite"), "{out}");
         assert!(out.contains("total"), "{out}");
+        // The table now carries the derived views too: latency
+        // percentiles and the emergent multiplication factors.
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("exit multiplication"), "{out}");
+    }
+
+    #[test]
+    fn profile_folded_is_flamegraph_ready() {
+        let out = execute_to_string(Command::Profile {
+            op: "timer".into(),
+            app: None,
+            txns: 40,
+            level: 2,
+            config: CliConfig::Base,
+            top: 10,
+            snapshot: false,
+            format: ProfileFormat::Folded,
+        })
+        .unwrap();
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            // Every line is `path cycles` with a numeric tail and a
+            // root frame naming a level.
+            let (path, cycles) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(cycles.parse::<u64>().is_ok(), "{line}");
+            assert!(path.starts_with('L'), "{line}");
+        }
+        // Nested config: some stack has depth > 1.
+        assert!(out.lines().any(|l| l.contains(';')), "{out}");
+    }
+
+    #[test]
+    fn obs_snapshot_self_diff_is_clean() {
+        let dir = std::env::temp_dir().join("dvh-obs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let snap_cmd = || Command::ObsSnapshot {
+            op: "timer".into(),
+            app: None,
+            txns: 40,
+            level: 2,
+            config: CliConfig::Base,
+            out: Some(path.to_string_lossy().into_owned()),
+            prom: false,
+        };
+        execute_to_string(snap_cmd()).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        execute_to_string(snap_cmd()).unwrap();
+        assert_eq!(
+            first,
+            std::fs::read_to_string(&path).unwrap(),
+            "snapshots must be deterministic"
+        );
+        let out = execute_to_string(Command::ObsDiff {
+            baseline: path.to_string_lossy().into_owned(),
+            current: path.to_string_lossy().into_owned(),
+            threshold: 0.25,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obs_snapshot_prom_exports_histograms() {
+        let out = execute_to_string(Command::ObsSnapshot {
+            op: "timer".into(),
+            app: None,
+            txns: 40,
+            level: 2,
+            config: CliConfig::Base,
+            out: None,
+            prom: true,
+        })
+        .unwrap();
+        assert!(out.contains("# TYPE dvh_exit_cycles histogram"), "{out}");
+        assert!(out.contains("le=\"+Inf\""), "{out}");
+    }
+
+    #[test]
+    fn obs_diff_flags_missing_file() {
+        assert!(execute_to_string(Command::ObsDiff {
+            baseline: "/nonexistent/base.json".into(),
+            current: "/nonexistent/cur.json".into(),
+            threshold: 0.25,
+            json: false,
+        })
+        .is_err());
     }
 
     #[test]
@@ -516,6 +720,7 @@ mod tests {
                 config: CliConfig::Dvh,
                 top: 5,
                 snapshot: true,
+                format: ProfileFormat::Table,
             })
             .unwrap()
         };
@@ -535,6 +740,7 @@ mod tests {
             config: CliConfig::Base,
             top: 10,
             snapshot: false,
+            format: ProfileFormat::Table,
         })
         .is_err());
     }

@@ -67,6 +67,15 @@ impl World {
                 reason,
                 spent,
             });
+        } else {
+            // A nested exit: close its interval so the causal tree of
+            // the enclosing outermost exit can be rebuilt exactly.
+            self.trace(|w| crate::trace::TraceEvent::Returned {
+                at: w.now(cpu),
+                cpu,
+                from_level,
+                reason,
+            });
         }
     }
 

@@ -45,6 +45,28 @@ pub enum TraceEvent {
         /// Cycles consumed between the exit and this completion.
         spent: Cycles,
     },
+    /// A *nested* (non-outermost) exit finished its round trip: the
+    /// handler chain for it ran to completion and control returned to
+    /// the enclosing exit's handling. Together with [`Exit`] this
+    /// gives every inner exit an exact, non-overlapping interval
+    /// `[exit.at, returned.at]`, which is what lets the causality
+    /// layer ([`dvh_obs::causal`]) rebuild the full causal tree of an
+    /// outermost exit and partition its cycles into per-frame self
+    /// times. Outermost exits close with [`Completed`] instead (which
+    /// additionally carries the attributed `spent` for the ledger).
+    ///
+    /// [`Exit`]: TraceEvent::Exit
+    /// [`Completed`]: TraceEvent::Completed
+    Returned {
+        /// Time the nested exit's handling finished.
+        at: Cycles,
+        /// CPU.
+        cpu: usize,
+        /// Level whose nested exit this closes.
+        from_level: usize,
+        /// The architectural reason of the closed exit.
+        reason: ExitReason,
+    },
     /// An exit was delivered to a guest hypervisor.
     Intervention {
         /// Time of delivery.
@@ -84,6 +106,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Exit { at, .. }
             | TraceEvent::Completed { at, .. }
+            | TraceEvent::Returned { at, .. }
             | TraceEvent::Intervention { at, .. }
             | TraceEvent::DvhIntercept { at, .. }
             | TraceEvent::IrqDelivered { at, .. } => *at,
@@ -95,6 +118,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Exit { cpu, .. }
             | TraceEvent::Completed { cpu, .. }
+            | TraceEvent::Returned { cpu, .. }
             | TraceEvent::Intervention { cpu, .. }
             | TraceEvent::DvhIntercept { cpu, .. }
             | TraceEvent::IrqDelivered { cpu, .. } => *cpu,
@@ -128,6 +152,12 @@ impl fmt::Display for TraceEvent {
                 f,
                 "[{at}] cpu{cpu} resume L{from_level} {reason} (spent {spent})"
             ),
+            TraceEvent::Returned {
+                at,
+                cpu,
+                from_level,
+                reason,
+            } => write!(f, "[{at}] cpu{cpu} return L{from_level} {reason}"),
             TraceEvent::Intervention {
                 at,
                 cpu,
@@ -305,6 +335,36 @@ mod tests {
                 last = e.at();
             }
         }
+    }
+
+    #[test]
+    fn nested_exits_are_closed_by_returned_events() {
+        let mut w = World::new(CostModel::calibrated(), WorldConfig::baseline(2));
+        w.enable_tracing(1 << 16);
+        w.guest_hypercall(0);
+        let events = w.take_trace();
+        let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count();
+        let exits = count(|e| matches!(e, TraceEvent::Exit { .. }));
+        let returned = count(|e| matches!(e, TraceEvent::Returned { .. }));
+        let completed = count(|e| matches!(e, TraceEvent::Completed { .. }));
+        assert!(returned > 0, "a reflected L2 hypercall must nest");
+        assert_eq!(completed, 1, "exactly one outermost exit");
+        assert_eq!(
+            exits,
+            returned + completed,
+            "every exit closes exactly once"
+        );
+        // A Returned never closes the outermost exit: the Completed is
+        // the last engine close event.
+        let last_close = events
+            .iter()
+            .rposition(|e| matches!(e, TraceEvent::Returned { .. }))
+            .unwrap();
+        let completed_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Completed { .. }))
+            .unwrap();
+        assert!(last_close < completed_at);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! (level, reason) reproduces `RunStats::cycles_by_reason` *exactly*,
 //! which is what the checker's metrics pass certifies. Nested exits
 //! (the multiplication itself) render as inner spans on their own
-//! level's track, closing at the same instant as the outermost span
-//! that contains them. Interventions, DVH intercepts, and interrupt
-//! deliveries are instant ("i") events.
+//! level's track, closing at their `Returned` event — the exact
+//! instant their round trip finished — so inner spans nest without
+//! overlapping and the causal tree ([`causal_forest`]) can partition
+//! every outermost span into per-frame self times. Interventions, DVH
+//! intercepts, and interrupt deliveries are instant ("i") events.
 //!
 //! Timestamps are simulated cycles written verbatim; the viewer labels
 //! them microseconds, but only relative magnitude matters and cycles
@@ -75,6 +77,26 @@ pub fn chrome_trace(events: &[TraceEvent], num_cpus: usize, levels: usize) -> Ch
                     });
                 }
             }
+            TraceEvent::Returned { at, cpu, .. } => {
+                // A nested exit's round trip finished: close its span
+                // at the true return time. The bottom stack entry is
+                // the outermost exit, which only `Completed` closes.
+                if let Some(stack) = open.get_mut(*cpu) {
+                    if stack.len() > 1 {
+                        let o = stack.pop().expect("len checked above");
+                        let dur = (*at - o.at).as_u64();
+                        t.span(
+                            &format!("exit L{} {}", o.lvl, o.reason),
+                            "exit",
+                            *cpu,
+                            o.lvl,
+                            o.at.as_u64(),
+                            dur,
+                            span_args(o.lvl, o.reason, false),
+                        );
+                    }
+                }
+            }
             TraceEvent::Completed {
                 at,
                 cpu,
@@ -83,8 +105,9 @@ pub fn chrome_trace(events: &[TraceEvent], num_cpus: usize, levels: usize) -> Ch
                 spent,
             } => {
                 if let Some(stack) = open.get_mut(*cpu) {
-                    // Inner (nested) exits close at the same instant
-                    // the outermost one resumes.
+                    // Leftover inner exits (possible only when the
+                    // bounded buffer evicted their `Returned`) close at
+                    // the instant the outermost one resumes.
                     while stack.len() > 1 {
                         let o = stack.pop().expect("len checked above");
                         let dur = (*at - o.at).as_u64();
@@ -218,6 +241,18 @@ pub fn event_value(e: &TraceEvent) -> Value {
             put("reason", Value::Str(reason.to_string()));
             put("spent", Value::Int(spent.as_u64() as i64));
         }
+        TraceEvent::Returned {
+            at,
+            cpu,
+            from_level,
+            reason,
+        } => {
+            put("type", Value::Str("returned".to_string()));
+            put("at", Value::Int(at.as_u64() as i64));
+            put("cpu", Value::Int(*cpu as i64));
+            put("level", Value::Int(*from_level as i64));
+            put("reason", Value::Str(reason.to_string()));
+        }
         TraceEvent::Intervention {
             at,
             cpu,
@@ -250,6 +285,42 @@ pub fn event_value(e: &TraceEvent) -> Value {
         }
     }
     Value::Obj(members)
+}
+
+/// Rebuilds the causal forest of a trace: one tree per outermost exit,
+/// with every nested exit a child of the exit whose handling caused it
+/// (DESIGN.md §11). The bridge between the engine's event vocabulary
+/// and the level-agnostic builder in [`dvh_obs::causal`]: `Exit` opens
+/// a node, `Returned` closes a nested one, `Completed` closes the
+/// outermost — with the root interval taken verbatim from
+/// `[at - spent, at]` so root spans reproduce the attribution ledger
+/// bit for bit (the trace linter's `cycle-attribution` rule proves
+/// `at - spent` is the recorded exit time).
+pub fn causal_forest(events: &[TraceEvent], num_cpus: usize) -> dvh_obs::causal::Forest {
+    let mut b = dvh_obs::causal::CausalBuilder::new(num_cpus);
+    for e in events {
+        match e {
+            TraceEvent::Exit {
+                at,
+                cpu,
+                from_level,
+                reason,
+                ..
+            } => b.exit(*cpu, at.as_u64(), *from_level, *reason),
+            TraceEvent::Returned { at, cpu, .. } => b.returned(*cpu, at.as_u64()),
+            TraceEvent::Completed {
+                at,
+                cpu,
+                from_level,
+                reason,
+                spent,
+            } => b.completed(*cpu, at.as_u64(), *from_level, *reason, spent.as_u64()),
+            TraceEvent::Intervention { .. }
+            | TraceEvent::DvhIntercept { .. }
+            | TraceEvent::IrqDelivered { .. } => {}
+        }
+    }
+    b.finish()
 }
 
 /// Per-(level, reason) cycle totals of the trace's `Completed` events

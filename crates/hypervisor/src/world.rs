@@ -529,6 +529,16 @@ impl World {
         self.metrics_on = true;
     }
 
+    /// Arms the full observability stack in one call: tracing (with the
+    /// given event capacity) plus metrics. Everything downstream of the
+    /// trace — causal trees, folded flamegraphs, latency percentiles —
+    /// needs both, so the CLI and the checker harness arm them
+    /// together.
+    pub fn enable_observability(&mut self, trace_capacity: usize) {
+        self.enable_tracing(trace_capacity);
+        self.enable_metrics();
+    }
+
     /// The live metrics registry, if metrics were enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_deref()

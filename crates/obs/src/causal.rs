@@ -1,0 +1,486 @@
+//! The causality layer: rebuilding the full causal tree of every
+//! outermost exit from a trace event stream.
+//!
+//! The paper's central claim is *exit multiplication* — one L2 exit
+//! fanning out into ~24x L1 handler traps per level (Table 3) — and
+//! that fan-out is exactly a tree: the L2 exit is the root, each
+//! reflected L1 handler operation is a child, and each L0 round trip
+//! those operations cause is a grandchild. The engine's trace gives
+//! every exit an exact interval (`Exit` opens it; `Returned` closes a
+//! nested exit, `Completed` the outermost), and on one CPU those
+//! intervals nest without overlapping, so the tree is recoverable with
+//! a per-CPU stack and nothing else.
+//!
+//! Two conservation properties make the forest trustworthy rather than
+//! merely plausible (both certified by the checker's causal pass):
+//!
+//! 1. **Root conservation** — a root's interval is taken verbatim from
+//!    its `Completed` event (`[at - spent, at]`), so summing root spans
+//!    per (level, reason) reproduces the engine's
+//!    `RunStats::cycles_by_reason` ledger *bit for bit*.
+//! 2. **Partition** — children lie inside their parent and do not
+//!    overlap, so `self_cycles = span - Σ child spans` is exact and
+//!    non-negative, and the folded-stack output ([`Forest::folded`])
+//!    sums back to the root totals with no cycles lost or invented.
+//!
+//! The builder is deliberately tolerant of truncated traces (the
+//! bounded buffer may have evicted opens or closes); everything it
+//! could not pair is counted in [`Forest::incomplete`] so a consumer
+//! can refuse to certify a lossy reconstruction.
+
+use dvh_arch::vmx::ExitReason;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One exit in a causal tree: its (level, reason) identity, its exact
+/// simulated interval, and the nested exits its handling caused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalNode {
+    /// Level the exit came from.
+    pub level: usize,
+    /// Architectural reason.
+    pub reason: ExitReason,
+    /// Simulated time the exit occurred.
+    pub start: u64,
+    /// Simulated time its handling finished (return / resume).
+    pub end: u64,
+    /// Nested exits caused by handling this one, in time order.
+    pub children: Vec<CausalNode>,
+}
+
+impl CausalNode {
+    /// The exit's end-to-end cost in cycles.
+    pub fn span(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Cycles spent in this exit's own handling, excluding nested
+    /// exits: `span - Σ child spans`. Exact (children partition a
+    /// slice of the parent's interval), saturating only against
+    /// truncated-trace pathologies.
+    pub fn self_cycles(&self) -> u64 {
+        let nested: u64 = self.children.iter().map(CausalNode::span).sum();
+        self.span().saturating_sub(nested)
+    }
+
+    /// Exits in this subtree, this node included.
+    pub fn count(&self) -> u64 {
+        1 + self.children.iter().map(CausalNode::count).sum::<u64>()
+    }
+
+    /// Longest root-to-leaf chain, this node included.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(CausalNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The node's flamegraph frame label.
+    pub fn frame(&self) -> String {
+        format!("L{} {}", self.level, self.reason)
+    }
+
+    fn add_counts(&self, per_level: &mut BTreeMap<usize, u64>) {
+        *per_level.entry(self.level).or_insert(0) += 1;
+        for c in &self.children {
+            c.add_counts(per_level);
+        }
+    }
+
+    fn fold_into(&self, path: &mut String, lines: &mut BTreeMap<String, u64>) {
+        let rollback = path.len();
+        if !path.is_empty() {
+            path.push(';');
+        }
+        path.push_str(&self.frame());
+        let own = self.self_cycles();
+        if own > 0 {
+            *lines.entry(path.clone()).or_insert(0) += own;
+        }
+        for c in &self.children {
+            c.fold_into(path, lines);
+        }
+        path.truncate(rollback);
+    }
+}
+
+/// One outermost exit's causal tree, tagged with the CPU it ran on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalTree {
+    /// CPU the whole chain executed on.
+    pub cpu: usize,
+    /// The outermost exit.
+    pub root: CausalNode,
+}
+
+/// Every causal tree of a traced run, in completion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Forest {
+    /// One tree per outermost exit (per `Completed` event).
+    pub trees: Vec<CausalTree>,
+    /// Exits the builder could not pair (stray closes, opens with no
+    /// close, closes with no open) — nonzero only for truncated or
+    /// malformed traces. A certifying consumer must require zero.
+    pub incomplete: usize,
+}
+
+impl Forest {
+    /// Per-(level, reason) sums of root spans — shaped exactly like
+    /// `RunStats::cycles_by_reason`, and equal to it bit for bit for
+    /// any untruncated trace (the checker's causal pass proves this).
+    pub fn root_cycle_totals(&self) -> BTreeMap<(usize, ExitReason), u64> {
+        let mut totals = BTreeMap::new();
+        for t in &self.trees {
+            *totals.entry((t.root.level, t.root.reason)).or_insert(0u64) += t.root.span();
+        }
+        totals
+    }
+
+    /// Total exits across every tree (roots included).
+    pub fn total_exits(&self) -> u64 {
+        self.trees.iter().map(|t| t.root.count()).sum()
+    }
+
+    /// The emergent per-level exit-multiplication factors, grouped by
+    /// root level: how many hardware exits one outermost exit at that
+    /// level fans out into, and where (per level) they land. Nothing
+    /// here is configured — the numbers fall out of the recursion the
+    /// trace recorded, which is the point of checking them against the
+    /// paper's Table 3.
+    pub fn multiplication_factors(&self) -> Vec<MultiplicationFactor> {
+        let mut by_root: BTreeMap<usize, MultiplicationFactor> = BTreeMap::new();
+        for t in &self.trees {
+            let f = by_root
+                .entry(t.root.level)
+                .or_insert_with(|| MultiplicationFactor {
+                    root_level: t.root.level,
+                    roots: 0,
+                    total_exits: 0,
+                    per_level: BTreeMap::new(),
+                    factor: 0.0,
+                });
+            f.roots += 1;
+            f.total_exits += t.root.count();
+            t.root.add_counts(&mut f.per_level);
+        }
+        let mut out: Vec<MultiplicationFactor> = by_root.into_values().collect();
+        for f in &mut out {
+            f.factor = f.total_exits as f64 / f.roots as f64;
+        }
+        out
+    }
+
+    /// Folded-stack flamegraph output: one line per distinct causal
+    /// path, `frame;frame;... self_cycles`, sorted by path. Feed it to
+    /// any `flamegraph.pl`-compatible renderer. Per-path self times
+    /// partition each tree exactly, so summing the lines that share a
+    /// root frame reproduces that root's total — cycles conserve all
+    /// the way through the visualization.
+    pub fn folded(&self) -> String {
+        let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &self.trees {
+            let mut path = String::new();
+            t.root.fold_into(&mut path, &mut lines);
+        }
+        let mut out = String::new();
+        for (path, cycles) in lines {
+            let _ = writeln!(out, "{path} {cycles}");
+        }
+        out
+    }
+}
+
+/// The emergent exit multiplication of one root level (see
+/// [`Forest::multiplication_factors`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiplicationFactor {
+    /// Level of the outermost exits this row aggregates.
+    pub root_level: usize,
+    /// Outermost exits (trees) observed at that level.
+    pub roots: u64,
+    /// Hardware exits across those trees, roots included.
+    pub total_exits: u64,
+    /// Exit counts broken out by the level they came from.
+    pub per_level: BTreeMap<usize, u64>,
+    /// `total_exits / roots` — the multiplication itself.
+    pub factor: f64,
+}
+
+/// An exit that is open while scanning the stream: identity, start
+/// time, and the children collected so far.
+struct Pending {
+    level: usize,
+    reason: ExitReason,
+    start: u64,
+    children: Vec<CausalNode>,
+}
+
+impl Pending {
+    fn close(self, end: u64) -> CausalNode {
+        CausalNode {
+            level: self.level,
+            reason: self.reason,
+            start: self.start,
+            end,
+            children: self.children,
+        }
+    }
+}
+
+/// Streaming forest builder: feed `exit`/`returned`/`completed` in
+/// trace order, then [`CausalBuilder::finish`].
+pub struct CausalBuilder {
+    stacks: Vec<Vec<Pending>>,
+    forest: Forest,
+}
+
+impl CausalBuilder {
+    /// A builder for a trace from `num_cpus` CPUs (more CPUs appearing
+    /// in the stream are accommodated on the fly).
+    pub fn new(num_cpus: usize) -> CausalBuilder {
+        CausalBuilder {
+            stacks: (0..num_cpus).map(|_| Vec::new()).collect(),
+            forest: Forest::default(),
+        }
+    }
+
+    /// Grows the per-CPU stacks so `self.stacks[cpu]` is addressable
+    /// (a plain field borrow, leaving `self.forest` free to update).
+    fn ensure_cpu(&mut self, cpu: usize) {
+        while self.stacks.len() <= cpu {
+            self.stacks.push(Vec::new());
+        }
+    }
+
+    /// A hardware exit occurred.
+    pub fn exit(&mut self, cpu: usize, at: u64, level: usize, reason: ExitReason) {
+        self.ensure_cpu(cpu);
+        self.stacks[cpu].push(Pending {
+            level,
+            reason,
+            start: at,
+            children: Vec::new(),
+        });
+    }
+
+    /// A nested exit's handling finished: close the deepest open exit
+    /// and attach it to its parent. A `returned` that would close the
+    /// outermost open (or arrives with nothing open) only happens in
+    /// truncated traces; the orphan is dropped and counted.
+    pub fn returned(&mut self, cpu: usize, at: u64) {
+        self.ensure_cpu(cpu);
+        let stack = &mut self.stacks[cpu];
+        match stack.pop() {
+            Some(p) => {
+                let node = p.close(at);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => self.forest.incomplete += 1,
+                }
+            }
+            None => self.forest.incomplete += 1,
+        }
+    }
+
+    /// The outermost exit finished. The root interval comes verbatim
+    /// from the completion (`[at - spent, at]`), never from the
+    /// recorded open — that keeps root spans equal to the attribution
+    /// ledger even when the trace buffer evicted the opening `Exit`.
+    pub fn completed(&mut self, cpu: usize, at: u64, level: usize, reason: ExitReason, spent: u64) {
+        self.ensure_cpu(cpu);
+        let stack = &mut self.stacks[cpu];
+        // Unreturned inner exits above the outermost (their `Returned`
+        // was evicted): close them at the resume instant and count
+        // them, keeping whatever subtree structure survived.
+        while stack.len() > 1 {
+            let node = stack.pop().expect("len checked above").close(at);
+            stack
+                .last_mut()
+                .expect("len checked above")
+                .children
+                .push(node);
+            self.forest.incomplete += 1;
+        }
+        let children = match stack.pop() {
+            Some(p) => p.children,
+            None => {
+                // The opening Exit itself was evicted; the tree's
+                // internal structure is lost but its root (and thus
+                // conservation) is not.
+                self.forest.incomplete += 1;
+                Vec::new()
+            }
+        };
+        self.forest.trees.push(CausalTree {
+            cpu,
+            root: CausalNode {
+                level,
+                reason,
+                start: at.saturating_sub(spent),
+                end: at,
+                children,
+            },
+        });
+    }
+
+    /// Finishes the scan: anything still open never completed (the
+    /// trace ended mid-exit) and is counted, not invented.
+    pub fn finish(mut self) -> Forest {
+        for stack in &mut self.stacks {
+            self.forest.incomplete += stack.len();
+            stack.clear();
+        }
+        self.forest
+    }
+}
+
+/// Renders the multiplication table `dvh profile` prints: one row per
+/// root level with the factor and the per-level breakdown.
+pub fn render_multiplication(factors: &[MultiplicationFactor]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>12} {:>8}  per level",
+        "root", "roots", "total exits", "factor"
+    );
+    for f in factors {
+        let per: Vec<String> = f
+            .per_level
+            .iter()
+            .map(|(l, n)| format!("L{l}:{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "L{:<5} {:>8} {:>12} {:>8.2}  {}",
+            f.root_level,
+            f.roots,
+            f.total_exits,
+            f.factor,
+            per.join(" ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A hand-built chain: one outermost L2 Vmcall [100, 1100] with two
+    // nested exits — an L1 Vmread [200, 300] and an L1 Vmresume
+    // [400, 900] that itself contains an L1 ApicWrite [500, 600].
+    fn sample() -> Forest {
+        let mut b = CausalBuilder::new(1);
+        b.exit(0, 100, 2, ExitReason::Vmcall);
+        b.exit(0, 200, 1, ExitReason::Vmread);
+        b.returned(0, 300);
+        b.exit(0, 400, 1, ExitReason::Vmresume);
+        b.exit(0, 500, 1, ExitReason::ApicWrite);
+        b.returned(0, 600);
+        b.returned(0, 900);
+        b.completed(0, 1100, 2, ExitReason::Vmcall, 1000);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_recovers_the_tree() {
+        let f = sample();
+        assert_eq!(f.incomplete, 0);
+        assert_eq!(f.trees.len(), 1);
+        let root = &f.trees[0].root;
+        assert_eq!((root.level, root.reason), (2, ExitReason::Vmcall));
+        assert_eq!((root.start, root.end), (100, 1100));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[1].children.len(), 1);
+        assert_eq!(root.count(), 4);
+        assert_eq!(root.depth(), 3);
+    }
+
+    #[test]
+    fn self_cycles_partition_the_root_span() {
+        let f = sample();
+        let root = &f.trees[0].root;
+        // span 1000, children 100 + 500 => self 400.
+        assert_eq!(root.self_cycles(), 400);
+        // Vmresume: span 500, child 100 => self 400.
+        assert_eq!(root.children[1].self_cycles(), 400);
+        // Total self times across the tree equal the root span.
+        fn total(n: &CausalNode) -> u64 {
+            n.self_cycles() + n.children.iter().map(total).sum::<u64>()
+        }
+        assert_eq!(total(root), root.span());
+    }
+
+    #[test]
+    fn folded_lines_conserve_the_root_total() {
+        let f = sample();
+        let folded = f.folded();
+        let mut sum = 0u64;
+        for line in folded.lines() {
+            let (path, cycles) = line.rsplit_once(' ').unwrap();
+            assert!(path.starts_with("L2 Vmcall"), "{line}");
+            sum += cycles.parse::<u64>().unwrap();
+        }
+        assert_eq!(sum, f.trees[0].root.span());
+        assert!(
+            folded.contains("L2 Vmcall;L1 Vmresume;L1 ApicWrite 100"),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn root_totals_and_multiplication() {
+        let f = sample();
+        assert_eq!(
+            f.root_cycle_totals().get(&(2, ExitReason::Vmcall)).copied(),
+            Some(1000)
+        );
+        assert_eq!(f.total_exits(), 4);
+        let mult = f.multiplication_factors();
+        assert_eq!(mult.len(), 1);
+        assert_eq!(mult[0].root_level, 2);
+        assert_eq!(mult[0].roots, 1);
+        assert_eq!(mult[0].total_exits, 4);
+        assert!((mult[0].factor - 4.0).abs() < 1e-12);
+        assert_eq!(mult[0].per_level.get(&1).copied(), Some(3));
+        assert_eq!(mult[0].per_level.get(&2).copied(), Some(1));
+        assert!(render_multiplication(&mult).contains("L2"));
+    }
+
+    #[test]
+    fn truncated_opens_and_closes_are_counted_not_invented() {
+        // A stray return with nothing open.
+        let mut b = CausalBuilder::new(1);
+        b.returned(0, 50);
+        // A completion whose open was evicted: the root still carries
+        // the ledger's exact interval.
+        b.completed(0, 500, 2, ExitReason::Hlt, 400);
+        // An open that never closes.
+        b.exit(0, 600, 1, ExitReason::Vmcall);
+        let f = b.finish();
+        assert_eq!(f.incomplete, 3);
+        assert_eq!(f.trees.len(), 1);
+        assert_eq!(f.trees[0].root.start, 100);
+        assert_eq!(
+            f.root_cycle_totals().get(&(2, ExitReason::Hlt)).copied(),
+            Some(400)
+        );
+    }
+
+    #[test]
+    fn per_cpu_stacks_are_independent() {
+        let mut b = CausalBuilder::new(2);
+        b.exit(0, 10, 2, ExitReason::Vmcall);
+        b.exit(1, 20, 2, ExitReason::Hlt);
+        b.completed(1, 120, 2, ExitReason::Hlt, 100);
+        b.completed(0, 210, 2, ExitReason::Vmcall, 200);
+        let f = b.finish();
+        assert_eq!(f.incomplete, 0);
+        assert_eq!(f.trees.len(), 2);
+        assert_eq!(f.trees[0].cpu, 1);
+        assert_eq!(f.trees[1].cpu, 0);
+    }
+}

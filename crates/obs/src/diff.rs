@@ -1,0 +1,490 @@
+//! Differential analysis of observability snapshots.
+//!
+//! A *snapshot* is a small JSON document ([`snapshot_value`]) capturing
+//! the derived health metrics of one run: outermost exit counts, the
+//! attributed-cycle exit rate, the per-level latency percentiles, and
+//! the raw counter/gauge/histogram values. [`diff`] compares two
+//! snapshots metric by metric with per-metric *relative* thresholds and
+//! directionality — exit rate regresses when it drops, latency
+//! percentiles regress when they grow — so CI can gate on
+//! `dvh obs diff baseline.json current.json` without hard-coding
+//! absolute cycle numbers that shift whenever the cost model is tuned.
+//!
+//! Percentiles that land in the histogram overflow bucket are stored as
+//! the string `">2^23"` (the snapshot has no finite value to report)
+//! and compared as +∞: overflow vs overflow is "no change", finite vs
+//! overflow is a regression of unbounded size.
+
+use crate::json::Value;
+use crate::metrics::{names, MetricsRegistry};
+use crate::percentiles::{exit_percentiles, OVERFLOW_VALUE};
+use dvh_arch::Cycles;
+use std::fmt::Write as _;
+
+/// Schema tag every snapshot carries; [`diff`] refuses documents that
+/// do not declare it.
+pub const SNAPSHOT_SCHEMA: &str = "dvh-obs-snapshot/v1";
+
+/// Schema tag of the JSON diff report.
+pub const DIFF_SCHEMA: &str = "dvh-obs-diff/v1";
+
+/// Which direction of change counts against the current run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A drop beyond the threshold is a regression (throughput-like).
+    LowerIsWorse,
+    /// A rise beyond the threshold is a regression (latency-like).
+    HigherIsWorse,
+    /// Reported for context, never gated.
+    Informational,
+}
+
+/// Thresholds for [`diff`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Relative change (fraction, not percent) beyond which a gated
+    /// metric counts as a regression.
+    pub threshold: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig { threshold: 0.25 }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Metric name, e.g. `exit_rate` or `all.p99`.
+    pub metric: String,
+    /// Direction that counts against the current run.
+    pub direction: Direction,
+    /// Baseline value (+∞ encodes an overflow percentile).
+    pub baseline: f64,
+    /// Current value (+∞ encodes an overflow percentile).
+    pub current: f64,
+    /// Relative change `(current - baseline) / baseline`.
+    pub change: f64,
+    /// Whether this entry trips the gate.
+    pub regression: bool,
+}
+
+/// The result of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Threshold the gated metrics were held to.
+    pub threshold: f64,
+    /// Every compared metric, gated entries first.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// The entries that tripped the gate.
+    pub fn regressions(&self) -> Vec<&DiffEntry> {
+        self.entries.iter().filter(|e| e.regression).collect()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "obs diff (threshold {:.0}%)", self.threshold * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14} {:>9}",
+            "metric", "baseline", "current", "change"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14} {:>14} {:>9}{}",
+                e.metric,
+                fmt_value(e.baseline),
+                fmt_value(e.current),
+                fmt_change(e.change),
+                if e.regression {
+                    "  REGRESSION"
+                } else if e.direction == Direction::Informational {
+                    "  (info)"
+                } else {
+                    ""
+                }
+            );
+        }
+        let n = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{n} regression(s) beyond {:.0}%",
+            self.threshold * 100.0
+        );
+        out
+    }
+
+    /// Renders the machine-readable report.
+    pub fn to_json(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("metric".into(), Value::Str(e.metric.clone())),
+                    ("baseline".into(), num_value(e.baseline)),
+                    ("current".into(), num_value(e.current)),
+                    ("change".into(), num_value(e.change)),
+                    (
+                        "gated".into(),
+                        Value::Bool(e.direction != Direction::Informational),
+                    ),
+                    ("regression".into(), Value::Bool(e.regression)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(DIFF_SCHEMA.into())),
+            ("threshold".into(), Value::Float(self.threshold)),
+            (
+                "regressions".into(),
+                Value::Int(self.regressions().len() as i64),
+            ),
+            ("entries".into(), Value::Arr(entries)),
+        ])
+    }
+}
+
+/// Builds the snapshot document for a finished run's registry.
+///
+/// `exits` / `exit_cycles_total` summarize the [`names::EXIT_CYCLES`]
+/// histograms (outermost exits only, matching the engine ledger), and
+/// `exit_rate` is exits per *attributed* second — a purely simulated,
+/// deterministic quantity.
+pub fn snapshot_value(reg: &MetricsRegistry, workload: &str) -> Value {
+    let mut exits = 0u64;
+    let mut cycles = 0u64;
+    for (key, h) in reg.histograms() {
+        if key.name == names::EXIT_CYCLES {
+            exits += h.count();
+            cycles = cycles.saturating_add(h.sum());
+        }
+    }
+    let exit_rate = if cycles == 0 {
+        0.0
+    } else {
+        exits as f64 * Cycles::FREQ_HZ as f64 / cycles as f64
+    };
+
+    let percentiles = exit_percentiles(reg)
+        .into_iter()
+        .map(|(level, p)| {
+            let label = match level {
+                None => "all".to_string(),
+                Some(l) => format!("L{l}"),
+            };
+            let row = Value::Obj(vec![
+                ("p50".into(), pct_value(p.p50)),
+                ("p95".into(), pct_value(p.p95)),
+                ("p99".into(), pct_value(p.p99)),
+                ("p999".into(), pct_value(p.p999)),
+            ]);
+            (label, row)
+        })
+        .collect();
+
+    let counters = reg
+        .counters()
+        .map(|(k, v)| (k.to_string(), Value::Int(v as i64)))
+        .collect();
+    let gauges = reg
+        .gauges()
+        .map(|(k, v)| (k.to_string(), Value::Int(v)))
+        .collect();
+    let histograms = reg
+        .histograms()
+        .map(|(k, h)| {
+            let buckets = h.buckets().iter().map(|&b| Value::Int(b as i64)).collect();
+            let obj = Value::Obj(vec![
+                ("count".into(), Value::Int(h.count() as i64)),
+                ("sum".into(), Value::Int(h.sum() as i64)),
+                ("buckets".into(), Value::Arr(buckets)),
+            ]);
+            (k.to_string(), obj)
+        })
+        .collect();
+
+    Value::Obj(vec![
+        ("schema".into(), Value::Str(SNAPSHOT_SCHEMA.into())),
+        ("workload".into(), Value::Str(workload.into())),
+        ("exits".into(), Value::Int(exits as i64)),
+        ("exit_cycles_total".into(), Value::Int(cycles as i64)),
+        ("exit_rate".into(), Value::Float(exit_rate)),
+        ("percentiles".into(), Value::Obj(percentiles)),
+        ("counters".into(), Value::Obj(counters)),
+        ("gauges".into(), Value::Obj(gauges)),
+        ("histograms".into(), Value::Obj(histograms)),
+    ])
+}
+
+/// [`snapshot_value`] serialized canonically.
+pub fn snapshot_json(reg: &MetricsRegistry, workload: &str) -> String {
+    snapshot_value(reg, workload).to_json()
+}
+
+/// Compares two snapshot documents.
+///
+/// Gated metrics: `exit_rate` (lower is worse) and every percentile
+/// present in both snapshots (higher is worse). `exits`,
+/// `exit_cycles_total`, and changed counters are reported for context
+/// but never gate.
+pub fn diff(baseline: &Value, current: &Value, cfg: DiffConfig) -> Result<DiffReport, String> {
+    check_schema(baseline, "baseline")?;
+    check_schema(current, "current")?;
+    let mut entries = Vec::new();
+
+    let rate_b = field_num(baseline, "exit_rate")?;
+    let rate_c = field_num(current, "exit_rate")?;
+    entries.push(entry(
+        "exit_rate",
+        Direction::LowerIsWorse,
+        rate_b,
+        rate_c,
+        cfg.threshold,
+    ));
+
+    let pb = baseline
+        .get("percentiles")
+        .ok_or("baseline missing 'percentiles'")?;
+    let pc = current
+        .get("percentiles")
+        .ok_or("current missing 'percentiles'")?;
+    if let (Value::Obj(groups_b), Value::Obj(_)) = (pb, pc) {
+        for (label, row_b) in groups_b {
+            let Some(row_c) = pc.get(label) else { continue };
+            for q in ["p50", "p95", "p99", "p999"] {
+                let (Some(vb), Some(vc)) = (row_b.get(q), row_c.get(q)) else {
+                    continue;
+                };
+                entries.push(entry(
+                    &format!("{label}.{q}"),
+                    Direction::HigherIsWorse,
+                    num(vb).ok_or_else(|| format!("bad percentile {label}.{q}"))?,
+                    num(vc).ok_or_else(|| format!("bad percentile {label}.{q}"))?,
+                    cfg.threshold,
+                ));
+            }
+        }
+    }
+
+    for name in ["exits", "exit_cycles_total"] {
+        let b = field_num(baseline, name)?;
+        let c = field_num(current, name)?;
+        entries.push(entry(name, Direction::Informational, b, c, cfg.threshold));
+    }
+    if let (Some(Value::Obj(cb)), Some(cc)) = (baseline.get("counters"), current.get("counters")) {
+        for (key, vb) in cb {
+            let (Some(b), Some(c)) = (num(vb), cc.get(key).and_then(num)) else {
+                continue;
+            };
+            if b != c {
+                entries.push(entry(
+                    &format!("counter {key}"),
+                    Direction::Informational,
+                    b,
+                    c,
+                    cfg.threshold,
+                ));
+            }
+        }
+    }
+
+    Ok(DiffReport {
+        threshold: cfg.threshold,
+        entries,
+    })
+}
+
+fn check_schema(doc: &Value, which: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(SNAPSHOT_SCHEMA) => Ok(()),
+        Some(other) => Err(format!("{which}: unknown schema '{other}'")),
+        None => Err(format!("{which}: not a dvh-obs snapshot (no schema field)")),
+    }
+}
+
+fn entry(metric: &str, direction: Direction, baseline: f64, current: f64, thr: f64) -> DiffEntry {
+    let change = rel_change(baseline, current);
+    let regression = match direction {
+        Direction::LowerIsWorse => change < -thr,
+        Direction::HigherIsWorse => change > thr,
+        Direction::Informational => false,
+    };
+    DiffEntry {
+        metric: metric.to_string(),
+        direction,
+        baseline,
+        current,
+        change,
+        regression,
+    }
+}
+
+/// Relative change with the overflow (+∞) cases pinned down: equal
+/// values (including ∞ vs ∞) are zero change, finite→∞ is +∞ change,
+/// ∞→finite is a full recovery (−1).
+fn rel_change(baseline: f64, current: f64) -> f64 {
+    if baseline == current {
+        0.0
+    } else if baseline.is_infinite() {
+        -1.0
+    } else if baseline == 0.0 {
+        if current > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        (current - baseline) / baseline
+    }
+}
+
+/// A snapshot number: integers, floats, or the `">2^23"` overflow
+/// marker (read as +∞).
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(n) => Some(*n as f64),
+        Value::Float(x) => Some(*x),
+        Value::Str(s) if s == ">2^23" => Some(f64::INFINITY),
+        _ => None,
+    }
+}
+
+fn field_num(doc: &Value, name: &str) -> Result<f64, String> {
+    doc.get(name)
+        .and_then(num)
+        .ok_or_else(|| format!("missing or non-numeric field '{name}'"))
+}
+
+fn pct_value(v: u64) -> Value {
+    if v == OVERFLOW_VALUE {
+        Value::Str(">2^23".into())
+    } else {
+        Value::Int(v as i64)
+    }
+}
+
+fn num_value(x: f64) -> Value {
+    if x.is_infinite() {
+        Value::Str(if x > 0.0 { ">2^23" } else { "-inf" }.into())
+    } else if x.fract() == 0.0 && x.abs() < 9e15 {
+        Value::Int(x as i64)
+    } else {
+        Value::Float(x)
+    }
+}
+
+fn fmt_value(x: f64) -> String {
+    if x.is_infinite() {
+        ">2^23".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 9e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+fn fmt_change(x: f64) -> String {
+    if x.is_infinite() {
+        format!("{}inf%", if x > 0.0 { "+" } else { "-" })
+    } else {
+        format!("{:+.1}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvh_arch::vmx::ExitReason;
+    use dvh_arch::Cycles;
+
+    fn reg_with(obs: &[(usize, u64)]) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for &(level, cycles) in obs {
+            m.observe_exit(level, ExitReason::Vmcall, Cycles::new(cycles));
+        }
+        m
+    }
+
+    #[test]
+    fn self_diff_reports_zero_regressions() {
+        let m = reg_with(&[(1, 500), (2, 4_000), (2, 9_000)]);
+        let snap = crate::json::parse(&snapshot_json(&m, "t")).unwrap();
+        let report = diff(&snap, &snap, DiffConfig::default()).unwrap();
+        assert!(report.regressions().is_empty(), "{}", report.to_text());
+        assert!(report.entries.iter().all(|e| e.change == 0.0));
+        assert!(report.to_text().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn injected_regression_is_flagged() {
+        // Baseline: 100 cheap exits. Current: five of them became 50x
+        // more expensive — the p99 jumps ladder rungs and the exit
+        // rate (exits per attributed second) drops well past 30%.
+        let base = reg_with(&(0..100).map(|_| (2, 1_000)).collect::<Vec<_>>());
+        let mut cur_obs: Vec<(usize, u64)> = (0..95).map(|_| (2, 1_000)).collect();
+        cur_obs.extend((0..5).map(|_| (2, 50_000)));
+        let cur = reg_with(&cur_obs);
+        let snap_b = crate::json::parse(&snapshot_json(&base, "t")).unwrap();
+        let snap_c = crate::json::parse(&snapshot_json(&cur, "t")).unwrap();
+        let report = diff(&snap_b, &snap_c, DiffConfig::default()).unwrap();
+        let names: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|e| e.metric.as_str())
+            .collect();
+        assert!(names.contains(&"exit_rate"), "{names:?}");
+        assert!(names.contains(&"all.p99"), "{names:?}");
+        // The JSON report agrees with the text report.
+        let json = report.to_json();
+        assert_eq!(
+            json.get("regressions").unwrap().as_int().unwrap() as usize,
+            report.regressions().len()
+        );
+    }
+
+    #[test]
+    fn overflow_percentiles_compare_as_equal() {
+        let m = reg_with(&[(2, (1 << 23) + 5)]);
+        let snap = crate::json::parse(&snapshot_json(&m, "t")).unwrap();
+        // The snapshot stores the overflow marker as a string…
+        assert_eq!(
+            snap.get("percentiles")
+                .and_then(|p| p.get("all"))
+                .and_then(|r| r.get("p99"))
+                .and_then(Value::as_str),
+            Some(">2^23")
+        );
+        // …and ∞ vs ∞ diffs to zero change.
+        let report = diff(&snap, &snap, DiffConfig::default()).unwrap();
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let bogus = crate::json::parse(r#"{"schema": "something-else"}"#).unwrap();
+        let m = reg_with(&[(1, 500)]);
+        let snap = crate::json::parse(&snapshot_json(&m, "t")).unwrap();
+        assert!(diff(&bogus, &snap, DiffConfig::default()).is_err());
+        assert!(diff(&snap, &bogus, DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn diff_report_json_round_trips() {
+        let base = reg_with(&[(1, 500)]);
+        let cur = reg_with(&[(1, 700)]);
+        let snap_b = crate::json::parse(&snapshot_json(&base, "t")).unwrap();
+        let snap_c = crate::json::parse(&snapshot_json(&cur, "t")).unwrap();
+        let report = diff(&snap_b, &snap_c, DiffConfig::default()).unwrap();
+        let text = report.to_json().to_json();
+        let back = crate::json::parse(&text).unwrap();
+        assert_eq!(back.to_json(), text);
+        assert_eq!(back.get("schema").unwrap().as_str(), Some(DIFF_SCHEMA));
+    }
+}

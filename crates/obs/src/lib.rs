@@ -22,6 +22,19 @@
 //!   verified without external dependencies.
 //! * [`profile`] — top-N (level, reason) → cycles/count/percent tables
 //!   from a registry, the `dvh profile` backend.
+//! * [`causal`] — reconstructs the causal forest of outermost exits
+//!   from trace events: every nested trap becomes a child interval of
+//!   the exit that caused it, which yields emergent per-level exit
+//!   multiplication factors (Table 3), folded-stack flamegraph lines,
+//!   and exact self-cycle attribution that conserves against
+//!   `cycles_by_reason`.
+//! * [`percentiles`] — p50/p95/p99/p999 outermost-exit latency from
+//!   the fixed bucket ladder, deterministic across runs and mergeable
+//!   across sweep cells.
+//! * [`diff`] — snapshot documents plus a differential analyzer with
+//!   per-metric relative thresholds and directionality, the
+//!   `dvh obs diff` backend CI gates on.
+//! * [`prom`] — Prometheus text exposition format for the registry.
 //!
 //! The registry itself is passive: the hypervisor's `World` owns one
 //! behind the same enabled-flag pattern as its tracer, so a disabled
@@ -32,9 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
+pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod percentiles;
 pub mod profile;
+pub mod prom;
 
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};

@@ -138,6 +138,15 @@ impl fmt::Display for MetricKey {
     }
 }
 
+/// Index of the explicit overflow bucket: where every observation
+/// above the top ladder bound (2^23 cycles) lands. The overflow bucket
+/// participates in `count` like any other bucket (so
+/// [`Histogram::is_consistent`] and the checker's conservation lints
+/// account for it), and percentile math reports ranks falling there as
+/// [`crate::percentiles::OVERFLOW_VALUE`] rather than inventing a
+/// finite bound.
+pub const OVERFLOW_BUCKET: usize = CYCLE_BUCKET_BOUNDS.len();
+
 /// Bucket count of every histogram: one per bound plus the overflow
 /// bucket.
 pub const HISTOGRAM_BUCKETS: usize = CYCLE_BUCKET_BOUNDS.len() + 1;
@@ -185,6 +194,12 @@ impl Histogram {
     /// Per-bucket counts (last entry is the overflow bucket).
     pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
         &self.buckets
+    }
+
+    /// Observations above the top ladder bound (2^23 cycles) — the
+    /// explicit overflow bucket's count.
+    pub fn overflow(&self) -> u64 {
+        self.buckets[OVERFLOW_BUCKET]
     }
 
     /// Whether the bucket counts add up to `count` — the structural
@@ -297,6 +312,11 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, &v)| (k, v))
     }
 
+    /// Iterates every gauge in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -377,6 +397,35 @@ mod tests {
         assert_eq!(h.buckets()[1], 1);
         assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
         assert!(h.is_consistent());
+    }
+
+    #[test]
+    fn overflow_boundary_is_exact() {
+        // The ladder's top bound is inclusive: exactly 2^23 is the last
+        // bounded bucket; one more cycle is overflow. Both are counted
+        // (is_consistent holds), so conservation lints see every
+        // observation regardless of magnitude.
+        let mut h = Histogram::default();
+        h.observe(1 << 23);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 2], 1);
+        h.observe((1 << 23) + 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets()[OVERFLOW_BUCKET], 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), (1 << 24) + 1);
+        assert!(h.is_consistent());
+    }
+
+    #[test]
+    fn overflow_merges_like_any_bucket() {
+        let mut a = Histogram::default();
+        a.observe(u64::MAX);
+        let mut b = Histogram::default();
+        b.observe((1 << 23) + 7);
+        a.merge(&b);
+        assert_eq!(a.overflow(), 2);
+        assert!(a.is_consistent());
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Latency percentiles from the fixed power-of-two bucket ladder.
+//!
+//! Every cycle-valued histogram shares the geometric ladder of
+//! [`CYCLE_BUCKET_BOUNDS`], so a quantile is a deterministic walk of
+//! the cumulative bucket counts: the reported value is the inclusive
+//! upper bound of the bucket containing the requested rank — an upper
+//! bound on the true quantile that is exact to the ladder's resolution
+//! and, crucially, identical across runs, levels, and merged sweep
+//! cells. Observations that landed in the overflow bucket (above
+//! 2^23 cycles) have no finite bound; a quantile that falls there is
+//! reported as [`OVERFLOW_VALUE`] and rendered `>2^23`.
+
+use crate::metrics::{names, Histogram, MetricsRegistry, OVERFLOW_BUCKET};
+use dvh_arch::cycles::CYCLE_BUCKET_BOUNDS;
+use std::fmt;
+
+/// The sentinel a quantile returns when the requested rank lands in
+/// the overflow bucket: the true value is known only to exceed the top
+/// bucket bound.
+pub const OVERFLOW_VALUE: u64 = u64::MAX;
+
+/// The standard latency summary: p50 / p95 / p99 / p999.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (cycles, bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl Percentiles {
+    /// Computes the summary from a histogram; `None` when it is empty.
+    pub fn of(h: &Histogram) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: quantile(h, 0.50)?,
+            p95: quantile(h, 0.95)?,
+            p99: quantile(h, 0.99)?,
+            p999: quantile(h, 0.999)?,
+        })
+    }
+}
+
+impl fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50={} p95={} p99={} p999={}",
+            render_value(self.p50),
+            render_value(self.p95),
+            render_value(self.p99),
+            render_value(self.p999)
+        )
+    }
+}
+
+/// Renders a quantile value, spelling the overflow sentinel out.
+pub fn render_value(v: u64) -> String {
+    if v == OVERFLOW_VALUE {
+        ">2^23".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// The `q`-quantile (0 < q <= 1) of `h`, as the inclusive upper bound
+/// of the bucket holding rank `ceil(q * count)`; `None` when the
+/// histogram is empty, [`OVERFLOW_VALUE`] when the rank lands in the
+/// overflow bucket.
+pub fn quantile(h: &Histogram, q: f64) -> Option<u64> {
+    if h.count() == 0 {
+        return None;
+    }
+    let rank = ((q * h.count() as f64).ceil() as u64).clamp(1, h.count());
+    let mut seen = 0u64;
+    for (i, &n) in h.buckets().iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return Some(if i == OVERFLOW_BUCKET {
+                OVERFLOW_VALUE
+            } else {
+                CYCLE_BUCKET_BOUNDS[i]
+            });
+        }
+    }
+    // Unreachable for a consistent histogram (Σ buckets == count); be
+    // conservative if one is not.
+    Some(OVERFLOW_VALUE)
+}
+
+/// Outermost-exit latency percentiles from a registry's
+/// [`names::EXIT_CYCLES`] histograms: the all-levels aggregate first
+/// (`level: None`), then one row per level. Merging is bucket-by-bucket
+/// on the shared ladder, so the aggregate is exact.
+pub fn exit_percentiles(reg: &MetricsRegistry) -> Vec<(Option<usize>, Percentiles)> {
+    let mut all = Histogram::default();
+    let mut by_level: std::collections::BTreeMap<usize, Histogram> = Default::default();
+    for (key, h) in reg.histograms() {
+        if key.name != names::EXIT_CYCLES {
+            continue;
+        }
+        let Some(level) = key.level else { continue };
+        all.merge(h);
+        by_level.entry(level).or_default().merge(h);
+    }
+    let mut out = Vec::new();
+    if let Some(p) = Percentiles::of(&all) {
+        out.push((None, p));
+    }
+    for (level, h) in &by_level {
+        if let Some(p) = Percentiles::of(h) {
+            out.push((Some(*level), p));
+        }
+    }
+    out
+}
+
+/// Renders [`exit_percentiles`] rows as an aligned table.
+pub fn render_percentiles(rows: &[(Option<usize>, Percentiles)]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "level", "p50", "p95", "p99", "p999"
+    );
+    for (level, p) in rows {
+        let label = match level {
+            None => "all".to_string(),
+            Some(l) => format!("L{l}"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            render_value(p.p50),
+            render_value(p.p95),
+            render_value(p.p99),
+            render_value(p.p999)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvh_arch::vmx::ExitReason;
+    use dvh_arch::Cycles;
+
+    #[test]
+    fn quantiles_walk_the_ladder() {
+        let mut h = Histogram::default();
+        // 100 observations: 50 in bucket 0 (<=256), 45 in bucket 2
+        // (<=1024), 5 in bucket 4 (<=4096).
+        for _ in 0..50 {
+            h.observe(100);
+        }
+        for _ in 0..45 {
+            h.observe(1000);
+        }
+        for _ in 0..5 {
+            h.observe(4000);
+        }
+        assert_eq!(quantile(&h, 0.50), Some(256));
+        assert_eq!(quantile(&h, 0.95), Some(1024));
+        assert_eq!(quantile(&h, 0.99), Some(4096));
+        assert_eq!(quantile(&h, 0.999), Some(4096));
+        let p = Percentiles::of(&h).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99, p.p999), (256, 1024, 4096, 4096));
+    }
+
+    #[test]
+    fn overflow_rank_reports_the_sentinel() {
+        let mut h = Histogram::default();
+        h.observe(100);
+        h.observe((1 << 23) + 1); // overflow bucket
+        assert_eq!(quantile(&h, 0.50), Some(256));
+        assert_eq!(quantile(&h, 0.99), Some(OVERFLOW_VALUE));
+        assert_eq!(render_value(OVERFLOW_VALUE), ">2^23");
+        // The top *bounded* bucket is still finite.
+        let mut top = Histogram::default();
+        top.observe(1 << 23);
+        assert_eq!(quantile(&top, 0.99), Some(1 << 23));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        assert_eq!(Percentiles::of(&Histogram::default()), None);
+        assert!(exit_percentiles(&MetricsRegistry::new()).is_empty());
+    }
+
+    #[test]
+    fn exit_percentiles_aggregate_then_split_by_level() {
+        let mut m = MetricsRegistry::new();
+        m.observe_exit(1, ExitReason::Vmcall, Cycles::new(200));
+        m.observe_exit(2, ExitReason::Vmcall, Cycles::new(40_000));
+        let rows = exit_percentiles(&m);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, None);
+        assert_eq!(
+            rows[1],
+            (
+                Some(1),
+                Percentiles::of(&{
+                    let mut h = Histogram::default();
+                    h.observe(200);
+                    h
+                })
+                .unwrap()
+            )
+        );
+        // The aggregate median spans both observations.
+        assert_eq!(rows[0].1.p50, 256);
+        assert_eq!(rows[0].1.p99, 65536);
+        let text = render_percentiles(&rows);
+        assert!(text.contains("all") && text.contains("L2"), "{text}");
+    }
+}

@@ -26,7 +26,7 @@ pub struct ProfileRow {
 /// Builds the top-`n` rows by attributed cycles (ties break by
 /// (level, reason) key order, so the table is deterministic).
 pub fn exit_profile(reg: &MetricsRegistry, n: usize) -> Vec<ProfileRow> {
-    let mut rows: Vec<ProfileRow> = Vec::new();
+    let mut rows: Vec<(crate::metrics::MetricKey, ProfileRow)> = Vec::new();
     let mut total: u64 = 0;
     for (key, h) in reg.histograms() {
         if key.name != names::EXIT_CYCLES {
@@ -36,26 +36,30 @@ pub fn exit_profile(reg: &MetricsRegistry, n: usize) -> Vec<ProfileRow> {
             continue;
         };
         total = total.saturating_add(h.sum());
-        rows.push(ProfileRow {
-            level,
-            reason: reason.to_string(),
-            count: h.count(),
-            cycles: h.sum(),
-            percent: 0.0,
-        });
+        rows.push((
+            *key,
+            ProfileRow {
+                level,
+                reason: reason.to_string(),
+                count: h.count(),
+                cycles: h.sum(),
+                percent: 0.0,
+            },
+        ));
     }
-    for row in &mut rows {
+    for (_, row) in &mut rows {
         row.percent = if total == 0 {
             0.0
         } else {
             row.cycles as f64 * 100.0 / total as f64
         };
     }
-    // Registry iteration is key-ordered, and the sort is stable, so
-    // equal-cycle rows keep (level, reason) order.
-    rows.sort_by_key(|r| std::cmp::Reverse(r.cycles));
+    // Cycles descending; exact ties break by `MetricKey` order (NOT by
+    // the rendered reason string, whose collation can differ), so the
+    // table is deterministic regardless of sort stability.
+    rows.sort_by(|(ka, a), (kb, b)| b.cycles.cmp(&a.cycles).then_with(|| ka.cmp(kb)));
     rows.truncate(n);
-    rows
+    rows.into_iter().map(|(_, row)| row).collect()
 }
 
 /// Renders rows as an aligned table with a totals footer.
@@ -129,6 +133,29 @@ mod tests {
         assert!(text.contains("Vmcall"));
         assert!(text.lines().last().unwrap().starts_with("total"));
         assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn equal_cycle_rows_order_by_key() {
+        // Three populations with identical cycle totals: the order must
+        // be the `MetricKey` order (level, then reason's architectural
+        // order), run after run, truncation or not.
+        let mut m = MetricsRegistry::new();
+        m.observe_exit(2, ExitReason::Vmcall, Cycles::new(5_000));
+        m.observe_exit(1, ExitReason::Hlt, Cycles::new(5_000));
+        m.observe_exit(2, ExitReason::MsrWrite, Cycles::new(5_000));
+        let rows = exit_profile(&m, 10);
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].level, rows[0].reason.as_str()), (1, "Hlt"));
+        assert_eq!(rows[1].level, 2);
+        assert_eq!(rows[2].level, 2);
+        // Reasons at the same level follow key order too, and top-N
+        // truncation picks the same winner every time.
+        let key = |r: ExitReason| crate::metrics::MetricKey::exit(names::EXIT_CYCLES, 2, r);
+        assert!(key(ExitReason::Vmcall) < key(ExitReason::MsrWrite));
+        assert_eq!(rows[1].reason, "Vmcall");
+        let top = exit_profile(&m, 1);
+        assert_eq!((top[0].level, top[0].reason.as_str()), (1, "Hlt"));
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Prometheus text-format exporter for the metrics registry.
+//!
+//! Renders every counter, gauge, and histogram in the standard
+//! exposition format (`# TYPE` headers, `dvh_` namespace, key
+//! dimensions as labels, cumulative `_bucket{le=...}` series ending in
+//! `+Inf`). The registry iterates in `BTreeMap` key order, so identical
+//! runs produce byte-identical exports — scrape-ready output that is
+//! also diffable in tests and CI.
+
+use crate::metrics::{Histogram, MetricKey, MetricsRegistry};
+use dvh_arch::cycles::CYCLE_BUCKET_BOUNDS;
+use std::fmt::Write as _;
+
+/// Renders the registry in Prometheus text exposition format.
+pub fn prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+
+    let mut last_type_for: Option<String> = None;
+    for (key, value) in reg.counters() {
+        type_header(&mut out, &mut last_type_for, key.name, "counter");
+        let _ = writeln!(out, "dvh_{}{} {value}", metric_name(key.name), labels(key));
+    }
+    last_type_for = None;
+    for (key, value) in reg.gauges() {
+        type_header(&mut out, &mut last_type_for, key.name, "gauge");
+        let _ = writeln!(out, "dvh_{}{} {value}", metric_name(key.name), labels(key));
+    }
+    last_type_for = None;
+    for (key, h) in reg.histograms() {
+        type_header(&mut out, &mut last_type_for, key.name, "histogram");
+        histogram_series(&mut out, key, h);
+    }
+    out
+}
+
+/// Emits a `# TYPE` line once per metric name (keys are iterated in
+/// name-major order, so a simple change detector suffices).
+fn type_header(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        let _ = writeln!(out, "# TYPE dvh_{} {kind}", metric_name(name));
+        *last = Some(name.to_string());
+    }
+}
+
+fn histogram_series(out: &mut String, key: &MetricKey, h: &Histogram) {
+    let name = metric_name(key.name);
+    let mut cumulative = 0u64;
+    for (i, &bound) in CYCLE_BUCKET_BOUNDS.iter().enumerate() {
+        cumulative += h.buckets()[i];
+        let _ = writeln!(
+            out,
+            "dvh_{name}_bucket{} {cumulative}",
+            labels_with(key, Some(("le", &bound.to_string())))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "dvh_{name}_bucket{} {}",
+        labels_with(key, Some(("le", "+Inf"))),
+        h.count()
+    );
+    let _ = writeln!(out, "dvh_{name}_sum{} {}", labels(key), h.sum());
+    let _ = writeln!(out, "dvh_{name}_count{} {}", labels(key), h.count());
+}
+
+/// Key dimensions as Prometheus labels, e.g. `{level="2",reason="Vmcall"}`.
+fn labels(key: &MetricKey) -> String {
+    labels_with(key, None)
+}
+
+fn labels_with(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    if let Some(level) = key.level {
+        pairs.push(format!("level=\"{level}\""));
+    }
+    if let Some(reason) = key.reason {
+        pairs.push(format!("reason=\"{reason}\""));
+    }
+    if let Some(tag) = key.tag {
+        pairs.push(format!("tag=\"{tag}\""));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Sanitizes a metric name into the Prometheus charset.
+fn metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::names;
+    use dvh_arch::vmx::ExitReason;
+    use dvh_arch::Cycles;
+
+    fn sample() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.inc(MetricKey::tagged(names::IRQ_DELIVERIES, "posted"));
+        m.inc(MetricKey::tagged(names::IRQ_DELIVERIES, "posted"));
+        m.set_gauge(MetricKey::tagged(names::VIRTQUEUE_IN_FLIGHT, "tx"), 4);
+        m.observe_exit(2, ExitReason::Vmcall, Cycles::new(1_000));
+        m.observe_exit(2, ExitReason::Vmcall, Cycles::new(40_000));
+        m
+    }
+
+    #[test]
+    fn exports_typed_series_with_labels() {
+        let text = prometheus(&sample());
+        assert!(text.contains("# TYPE dvh_irq_deliveries counter"), "{text}");
+        assert!(
+            text.contains("dvh_irq_deliveries{tag=\"posted\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE dvh_virtqueue_in_flight gauge"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE dvh_exit_cycles histogram"), "{text}");
+        assert!(
+            text.contains("dvh_exit_cycles_sum{level=\"2\",reason=\"Vmcall\"} 41000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dvh_exit_cycles_count{level=\"2\",reason=\"Vmcall\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_end_at_inf() {
+        let text = prometheus(&sample());
+        // Cumulative: by le="65536" both observations are inside.
+        assert!(text.contains("le=\"65536\"} 2"), "{text}");
+        // The +Inf bucket equals the count.
+        assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+        // One le= line per ladder bound plus +Inf.
+        let bucket_lines = text
+            .lines()
+            .filter(|l| l.starts_with("dvh_exit_cycles_bucket"))
+            .count();
+        assert_eq!(bucket_lines, CYCLE_BUCKET_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn type_header_appears_once_per_name() {
+        let mut m = sample();
+        m.observe_exit(1, ExitReason::Vmread, Cycles::new(500));
+        let text = prometheus(&m);
+        let headers = text
+            .lines()
+            .filter(|l| *l == "# TYPE dvh_exit_cycles histogram")
+            .count();
+        assert_eq!(headers, 1, "{text}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(prometheus(&sample()), prometheus(&sample()));
+    }
+}

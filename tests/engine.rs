@@ -75,6 +75,8 @@ fn engine_bench_json_baseline_round_trip() {
         sweep_deterministic: true,
         metrics_exit_rate: 22_000_000.0,
         metrics_conserved: true,
+        p50_exit_cycles: 4096,
+        p99_exit_cycles: 65_536,
     };
     let baseline = dvh_bench::engine::Baseline::parse(&r.to_json()).unwrap();
     assert!(dvh_bench::engine::check_regression(&r, &baseline, 0.25).is_ok());

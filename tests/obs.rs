@@ -150,6 +150,51 @@ fn jsonl_export_covers_every_event() {
 }
 
 #[test]
+fn jsonl_round_trip_agrees_with_chrome_export() {
+    // Satellite contract: the JSONL stream and the Chrome trace are two
+    // serializations of the same events, so pushing the JSONL through
+    // `obs::json` and re-deriving totals must agree with the Chrome
+    // export on both event count and cycle sum.
+    let mut m = fig7_l2_netperf();
+    let w = m.world_mut();
+    let events = w.take_trace();
+    let (num_cpus, leaf) = (w.num_cpus(), w.leaf_level());
+
+    let mut completed = 0u64;
+    let mut spent_sum = 0u64;
+    for line in jsonl(&events).lines() {
+        let v = json::parse(line).expect("jsonl line parses");
+        // Round trip through obs::json is the identity, line by line.
+        assert_eq!(v.to_json(), line);
+        if v.get("type").and_then(Value::as_str) == Some("completed") {
+            completed += 1;
+            spent_sum += v.get("spent").and_then(Value::as_int).unwrap() as u64;
+        }
+    }
+
+    let doc = json::parse(&chrome_json(&events, num_cpus, leaf)).unwrap();
+    let mut outermost_spans = 0u64;
+    let mut dur_sum = 0u64;
+    for e in doc.get("traceEvents").unwrap().items().unwrap() {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        if e.get("args").unwrap().get("outermost") != Some(&Value::Bool(true)) {
+            continue;
+        }
+        outermost_spans += 1;
+        dur_sum += e.get("dur").and_then(Value::as_int).unwrap() as u64;
+    }
+
+    assert!(completed > 0);
+    assert_eq!(
+        completed, outermost_spans,
+        "one outermost span per completion"
+    );
+    assert_eq!(spent_sum, dur_sum, "both exports account the same cycles");
+}
+
+#[test]
 fn device_metrics_export_is_idempotent() {
     let mut m = fig7_l2_netperf();
     let w = m.world_mut();
